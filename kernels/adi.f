@@ -1,0 +1,13 @@
+PROGRAM adi
+PARAMETER (N = 256)
+REAL X(N,N), A(N,N), B(N,N)
+C Scalarized Fortran-90 ADI integration fragment (Figure 3b).
+DO I = 2, N
+  DO K = 1, N
+    X(I,K) = X(I,K) - X(I-1,K)*A(I,K)/B(I-1,K)
+  ENDDO
+  DO K = 1, N
+    B(I,K) = B(I,K) - A(I,K)*A(I,K)/B(I-1,K)
+  ENDDO
+ENDDO
+END

@@ -1,0 +1,14 @@
+PROGRAM cholesky
+PARAMETER (N = 200)
+REAL A(N,N)
+C KIJ-form Cholesky factorisation (Figure 7a of the paper).
+DO K = 1, N
+  A(K,K) = SQRT(A(K,K))
+  DO I = K+1, N
+    A(I,K) = A(I,K) / A(K,K)
+    DO J = K+1, I
+      A(I,J) = A(I,J) - A(I,K)*A(J,K)
+    ENDDO
+  ENDDO
+ENDDO
+END

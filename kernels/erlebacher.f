@@ -1,0 +1,26 @@
+PROGRAM erlebacher
+PARAMETER (N = 32)
+REAL F(N,N,N), G(N,N,N), UX(N,N,N), D(N)
+C 3-D ADI forward sweep, fully distributed single-statement loops.
+DO K1 = 2, N
+  DO J1 = 1, N
+    DO I1 = 1, N
+      F(I1,J1,K1) = F(I1,J1,K1) - F(I1,J1,K1-1)*D(K1)
+    ENDDO
+  ENDDO
+ENDDO
+DO K2 = 2, N
+  DO J2 = 1, N
+    DO I2 = 1, N
+      G(I2,J2,K2) = G(I2,J2,K2) - F(I2,J2,K2)*D(K2)
+    ENDDO
+  ENDDO
+ENDDO
+DO K3 = 2, N
+  DO J3 = 1, N
+    DO I3 = 1, N
+      UX(I3,J3,K3) = UX(I3,J3,K3) + F(I3,J3,K3)*G(I3,J3,K3)
+    ENDDO
+  ENDDO
+ENDDO
+END

@@ -1,0 +1,12 @@
+PROGRAM gmtry
+PARAMETER (N = 128)
+REAL RX(N,N)
+C Gaussian elimination across rows (ikj form): no spatial locality as written.
+DO I = 2, N
+  DO J = 1, I-1
+    DO K = J+1, N
+      RX(I,K) = RX(I,K) - RX(I,J)*RX(J,K)
+    ENDDO
+  ENDDO
+ENDDO
+END

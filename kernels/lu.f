@@ -1,0 +1,15 @@
+PROGRAM lu
+PARAMETER (N = 64)
+REAL*8 A(N,N)
+C Right-looking LU without pivoting, row-oriented update order.
+DO K = 1, N-1
+  DO S = K+1, N
+    A(S,K) = A(S,K) / A(K,K)
+  ENDDO
+  DO I = K+1, N
+    DO J = K+1, N
+      A(I,J) = A(I,J) - A(I,K) * A(K,J)
+    ENDDO
+  ENDDO
+ENDDO
+END

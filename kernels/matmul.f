@@ -1,0 +1,12 @@
+PROGRAM matmul
+PARAMETER (N = 300)
+REAL A(N,N), B(N,N), C(N,N)
+C Matrix multiply written with the I loop outermost (poor locality).
+DO I = 1, N
+  DO J = 1, N
+    DO K = 1, N
+      C(I,J) = C(I,J) + A(I,K)*B(K,J)
+    ENDDO
+  ENDDO
+ENDDO
+END

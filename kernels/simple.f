@@ -1,0 +1,16 @@
+PROGRAM simple
+PARAMETER (N = 200)
+REAL P(N,N), Q(N,N), RHO(N,N)
+C Hydrodynamics fragment in vectorizable form: the recurrence runs over
+C the outer loop so the inner loop vectorizes; bad for cache lines.
+DO L = 2, N
+  DO M = 1, N
+    P(L,M) = P(L-1,M) + RHO(L,M)*Q(L,M)
+  ENDDO
+ENDDO
+DO L2 = 2, N
+  DO M2 = 1, N
+    Q(L2,M2) = Q(L2-1,M2) + RHO(L2,M2)*P(L2,M2)
+  ENDDO
+ENDDO
+END

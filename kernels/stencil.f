@@ -1,0 +1,10 @@
+PROGRAM stencil
+PARAMETER (N = 400)
+REAL U(N,N), V(N,N)
+C Five-point stencil written row-major; interchange fixes it.
+DO I = 2, N-1
+  DO J = 2, N-1
+    V(I,J) = 0.25 * (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))
+  ENDDO
+ENDDO
+END

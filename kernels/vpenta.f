@@ -1,0 +1,11 @@
+PROGRAM vpenta
+PARAMETER (N = 128)
+REAL X(N,N), Y(N,N), A(N,N), B(N,N)
+C Pentadiagonal elimination sweep, scalarized with the vector loop outermost.
+DO J = 3, N
+  DO I = 1, N
+    X(J,I) = X(J,I) - A(J,I)*X(J-1,I) - B(J,I)*X(J-2,I)
+    Y(J,I) = Y(J,I) - A(J,I)*Y(J-1,I)
+  ENDDO
+ENDDO
+END
