@@ -1,0 +1,423 @@
+(* memoria — the source-to-source data-locality optimizer.
+
+   Reads a kernel in the Fortran-77-style mini-language (or a built-in
+   kernel), analyses its loop nests with the cache-line cost model, and
+   applies the compound transformation algorithm (permutation, fusion,
+   distribution, reversal). *)
+
+open Cmdliner
+module Core = Locality_core
+module Suite = Locality_suite
+module Interp = Locality_interp
+module Machine = Locality_cachesim.Machine
+open Locality_ir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~kernel ~file ~n =
+  match (kernel, file) with
+  | Some name, _ -> (
+    match List.assoc_opt name Suite.Kernels.all with
+    | Some mk -> Ok (mk (Option.value n ~default:64))
+    | None ->
+      Error
+        (Printf.sprintf "unknown kernel %s (try: %s)" name
+           (String.concat ", " (List.map fst Suite.Kernels.all))))
+  | None, Some path -> (
+    try
+      let p = Locality_lang.Lower.parse_program (read_file path) in
+      match n with
+      | None -> Ok p
+      | Some n ->
+        Ok { p with Program.params = List.map (fun (x, _) -> (x, n)) p.Program.params }
+    with
+    | Sys_error msg -> Error msg
+    | Locality_lang.Lexer.Error (msg, line) ->
+      Error (Printf.sprintf "%s:%d: lexical error: %s" path line msg)
+    | Locality_lang.Parser.Error (msg, line) ->
+      Error (Printf.sprintf "%s:%d: syntax error: %s" path line msg)
+    | Locality_lang.Lower.Error msg ->
+      Error (Printf.sprintf "%s: %s" path msg))
+  | None, None -> Error "give a FILE or --kernel NAME"
+
+(* ------------------------------------------------------- arguments --- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Kernel source file.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "kernel"; "k" ] ~docv:"NAME" ~doc:"Use a built-in kernel instead of a file.")
+
+let cls_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "cls" ] ~docv:"ELEMS" ~doc:"Cache line size in array elements.")
+
+let n_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N" ~doc:"Override the size parameter(s).")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cache1", Machine.cache1); ("cache2", Machine.cache2) ])
+        Machine.cache2
+    & info [ "cache" ] ~docv:"CACHE"
+        ~doc:"Cache geometry: cache1 (RS/6000) or cache2 (i860).")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("memoria: " ^ msg);
+    exit 1
+
+(* -------------------------------------------------------- commands --- *)
+
+let opt_cmd =
+  let run file kernel cls n check interference_limit =
+    let p = or_die (load ~kernel ~file ~n) in
+    let p', stats = Core.Compound.run_program ?interference_limit ~cls p in
+    print_endline (Pretty.program_to_string p');
+    Printf.eprintf "; %d nests: %d already optimal, %d permuted, %d failed\n"
+      (List.length stats.Core.Compound.nests)
+      (List.length
+         (List.filter
+            (fun (s : Core.Compound.nest_stat) ->
+              s.Core.Compound.orig_mem_order && s.Core.Compound.orig_inner_ok)
+            stats.Core.Compound.nests))
+      (List.length
+         (List.filter
+            (fun (s : Core.Compound.nest_stat) ->
+              s.Core.Compound.permuted || s.Core.Compound.fused_enabling
+              || s.Core.Compound.distributed)
+            stats.Core.Compound.nests))
+      (List.length
+         (List.filter
+            (fun (s : Core.Compound.nest_stat) ->
+              not s.Core.Compound.final_inner_ok)
+            stats.Core.Compound.nests));
+    Printf.eprintf "; fusion: %d applied of %d candidates; distribution: %d\n"
+      stats.Core.Compound.fusions_applied stats.Core.Compound.fusion_candidates
+      stats.Core.Compound.distributions;
+    if check then
+      if Interp.Exec.equivalent ~tol:1e-6 p p' then
+        prerr_endline "; semantics check: OK"
+      else begin
+        prerr_endline "; semantics check: FAILED";
+        exit 2
+      end
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Interpret original and transformed programs and compare results.")
+  in
+  let interference_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "interference-limit" ] ~docv:"ARRAYS"
+          ~doc:
+            "Reject cross-nest fusions whose merged body touches more than \
+             this many arrays (the correction the paper sketches in \
+             section 5.5 for fusion-induced cache conflicts).")
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Optimize a program for data locality and print it.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ check_arg
+      $ interference_arg)
+
+let cost_cmd =
+  let run file kernel cls n =
+    let p = or_die (load ~kernel ~file ~n) in
+    List.iteri
+      (fun i nest ->
+        Format.printf "nest %d:@." (i + 1);
+        Format.printf "%a@." Core.Memorder.pp (Core.Memorder.compute ~cls nest))
+      (Program.top_loops p)
+  in
+  Cmd.v
+    (Cmd.info "cost" ~doc:"Print LoopCost and memory order for each nest.")
+    Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg)
+
+let deps_cmd =
+  let run file kernel n dot =
+    let p = or_die (load ~kernel ~file ~n) in
+    List.iteri
+      (fun i nest ->
+        let deps = Locality_dep.Analysis.deps_in_nest nest in
+        if dot then begin
+          let labels =
+            List.map (fun s -> s.Stmt.label) (Loop.statements nest)
+          in
+          let g = Locality_dep.Graph.build ~nodes:labels ~deps in
+          print_string
+            (Locality_dep.Graph.to_dot ~name:(Printf.sprintf "nest%d" (i + 1)) g)
+        end
+        else List.iter (fun d -> Format.printf "%a@." Locality_dep.Depend.pp d) deps)
+      (Program.top_loops p)
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the statement dependence graph as Graphviz.")
+  in
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Print the data dependences of each nest.")
+    Term.(const run $ file_arg $ kernel_arg $ n_arg $ dot_arg)
+
+let tile_cmd =
+  let run file kernel cls n band size auto cache =
+    let p = or_die (load ~kernel ~file ~n) in
+    match Program.top_loops p with
+    | [ nest ] -> (
+      let band =
+        match band with
+        | Some b -> String.split_on_char ',' b
+        | None -> Core.Tiling.recommend ~cls nest
+      in
+      if band = [] then begin
+        prerr_endline "memoria: no band given and nothing to recommend";
+        exit 1
+      end;
+      let size =
+        if not auto then size
+        else begin
+          (* Column-major: the self-interference stride is the leading
+             dimension; take the largest one among the declared arrays. *)
+          let param name =
+            match List.assoc_opt name p.Program.params with
+            | Some v -> v
+            | None -> failwith name
+          in
+          let stride =
+            List.fold_left
+              (fun acc (d : Decl.t) ->
+                match d.Decl.extents with
+                | first :: _ :: _ -> (
+                  match Expr.eval first param with
+                  | v -> max acc v
+                  | exception _ -> acc)
+                | _ -> acc)
+              0 p.Program.decls
+          in
+          if stride <= 0 then begin
+            prerr_endline
+              "memoria: --auto needs a 2-D array with a computable leading \
+               dimension";
+            exit 1
+          end;
+          let v =
+            Locality_cachesim.Tilesize.choose cache ~elem_size:8 ~stride
+          in
+          Printf.eprintf
+            "; auto tile size %d for stride %d on %s (footprint %d lines%s)\n"
+            v.Locality_cachesim.Tilesize.tile stride
+            cache.Locality_cachesim.Cache.name
+            v.Locality_cachesim.Tilesize.footprint_lines
+            (if v.Locality_cachesim.Tilesize.conflict_free then ""
+             else ", conflicts");
+          v.Locality_cachesim.Tilesize.tile
+        end
+      in
+      Printf.eprintf "; tiling band {%s}, size %d
+" (String.concat ", " band)
+        size;
+      match Core.Tiling.tile ~sizes:size nest ~band with
+      | None ->
+        prerr_endline "memoria: band is not tileable (not contiguous, not                        fully permutable, or bounds too complex)";
+        exit 1
+      | Some tiled ->
+        let p' = Program.map_body (fun _ -> [ Loop.Loop tiled ]) p in
+        print_endline (Pretty.program_to_string p'))
+    | _ ->
+      prerr_endline "memoria: tile expects a program with a single nest";
+      exit 1
+  in
+  let band_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "band" ] ~docv:"L1,L2"
+          ~doc:"Comma-separated loops to tile (default: recommendation).")
+  in
+  let size_arg =
+    Arg.(value & opt int 16 & info [ "size" ] ~docv:"T" ~doc:"Tile size.")
+  in
+  let auto_arg =
+    Arg.(
+      value & flag
+      & info [ "auto" ]
+          ~doc:
+            "Choose the tile size automatically (largest self-interference-free \
+             tile for $(b,--cache), LRW91-style), overriding $(b,--size).")
+  in
+  Cmd.v
+    (Cmd.info "tile" ~doc:"Tile a nest (Section 6) and print the result.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ band_arg $ size_arg
+      $ auto_arg $ cache_arg)
+
+let cgen_cmd =
+  let run file kernel cls n opt driver =
+    let p = or_die (load ~kernel ~file ~n) in
+    let p = if opt then fst (Core.Compound.run_program ~cls p) else p in
+    print_string (Pretty_c.program_to_c ~driver p)
+  in
+  let opt_flag =
+    Arg.(
+      value & flag
+      & info [ "opt" ] ~doc:"Run the compound optimizer before emitting C.")
+  in
+  let driver_flag =
+    Arg.(
+      value & opt bool true
+      & info [ "driver" ] ~docv:"BOOL"
+          ~doc:"Include a main() that initialises arrays and prints a checksum.")
+  in
+  Cmd.v
+    (Cmd.info "cgen"
+       ~doc:"Emit the program as a self-contained C translation unit.")
+    Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ opt_flag $ driver_flag)
+
+let sim_cmd =
+  let run file kernel cls n cache =
+    let p = or_die (load ~kernel ~file ~n) in
+    let p', _ = Core.Compound.run_program ~cls p in
+    let speedup, before, after = Interp.Measure.speedup ~config:cache p p' in
+    Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
+    Printf.printf "original:    %8.4f modelled s, %6.2f%% hits\n"
+      before.Interp.Measure.seconds
+      (Interp.Measure.hit_rate before.Interp.Measure.whole);
+    Printf.printf "transformed: %8.4f modelled s, %6.2f%% hits\n"
+      after.Interp.Measure.seconds
+      (Interp.Measure.hit_rate after.Interp.Measure.whole);
+    Printf.printf "speedup: %.2fx\n" speedup
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate cache behaviour of the original and optimized program.")
+    Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ cache_arg)
+
+let unroll_cmd =
+  let run file kernel n loop factor replace =
+    let p = or_die (load ~kernel ~file ~n) in
+    match Program.top_loops p with
+    | [ nest ] -> (
+      let loop =
+        match loop with
+        | Some l -> l
+        | None -> (
+          (* default: the outermost loop *)
+          match Loop.loops_on_spine nest with
+          | h :: _ -> h.Loop.index
+          | [] ->
+            prerr_endline "memoria: nest has no loops";
+            exit 1)
+      in
+      let factor =
+        match factor with
+        | Some f -> f
+        | None ->
+          let best, options = Core.Unroll.choose_factor nest ~loop in
+          List.iter
+            (fun (b : Core.Unroll.balance) ->
+              Printf.eprintf
+                "; u=%d: %d regs, %.3f mem/iter, %.1f flops/iter\n"
+                b.Core.Unroll.factor b.Core.Unroll.scalars
+                b.Core.Unroll.mem_per_orig_iter b.Core.Unroll.flops_per_orig_iter)
+            options;
+          Printf.eprintf "; balance-chosen factor: %d\n" best.Core.Unroll.factor;
+          best.Core.Unroll.factor
+      in
+      if factor < 2 then begin
+        print_endline (Pretty.program_to_string p);
+        exit 0
+      end;
+      match Core.Unroll.unroll_and_jam nest ~loop ~factor with
+      | None ->
+        prerr_endline
+          "memoria: unroll-and-jam refused (imperfect nest, innermost loop, \
+           dependent bounds, or jamming illegal)";
+        exit 1
+      | Some block ->
+        let block =
+          if not replace then block
+          else begin
+            let replaced = ref 0 in
+            let block' =
+              Core.Unroll.map_main block ~loop ~factor ~f:(fun main ->
+                  let sr = Core.Scalar_replacement.apply main in
+                  replaced := sr.Core.Scalar_replacement.replaced;
+                  sr.Core.Scalar_replacement.nest)
+            in
+            Printf.eprintf "; scalar replacement: %d references\n" !replaced;
+            Option.value ~default:block block'
+          end
+        in
+        let p' = Program.map_body (fun _ -> block) p in
+        print_endline (Pretty.program_to_string p'))
+    | _ ->
+      prerr_endline "memoria: unroll expects a program with a single nest";
+      exit 1
+  in
+  let loop_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "loop" ] ~docv:"INDEX"
+          ~doc:"Loop to unroll and jam (default: the outermost).")
+  in
+  let factor_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "factor" ] ~docv:"U"
+          ~doc:
+            "Unroll factor; omitted, the CCK90-style balance model chooses \
+             among 2, 4 and 8 under a 16-register budget.")
+  in
+  let replace_arg =
+    Arg.(
+      value & flag
+      & info [ "replace" ]
+          ~doc:"Scalar-replace the jammed main nest (registers).")
+  in
+  Cmd.v
+    (Cmd.info "unroll"
+       ~doc:"Unroll-and-jam a nest (the paper's step 3) and print the result.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ n_arg $ loop_arg $ factor_arg
+      $ replace_arg)
+
+let kernels_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) Suite.Kernels.all
+  in
+  Cmd.v
+    (Cmd.info "kernels" ~doc:"List built-in kernels usable with --kernel.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "memoria" ~version:"1.0.0"
+       ~doc:
+         "Compiler optimizations for improving data locality (Carr, \
+          McKinley & Tseng, ASPLOS 1994).")
+    [
+      opt_cmd; cost_cmd; deps_cmd; sim_cmd; tile_cmd; unroll_cmd; cgen_cmd;
+      kernels_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adi_fusion.ml: Format List Locality_cachesim Locality_core Locality_interp Locality_ir Locality_suite Loop Poly Pretty Printf Program

@@ -1,0 +1,1 @@
+examples/adi_fusion.mli:

@@ -1,0 +1,1 @@
+examples/cholesky_dist.ml: Format List Locality_cachesim Locality_core Locality_interp Locality_ir Locality_suite Pretty Printf Program

@@ -1,0 +1,1 @@
+examples/cholesky_dist.mli:

@@ -1,0 +1,1 @@
+examples/enablers.ml: Builder List Locality_core Locality_interp Locality_ir Locality_suite Loop Pretty Printf Program

@@ -1,0 +1,1 @@
+examples/enablers.mli:

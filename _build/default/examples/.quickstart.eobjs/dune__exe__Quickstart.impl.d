@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Format List Locality_cachesim Locality_core Locality_interp Locality_ir Poly Pretty Printf Program

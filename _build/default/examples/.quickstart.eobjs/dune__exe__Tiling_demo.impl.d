@@ -1,0 +1,1 @@
+examples/tiling_demo.ml: Format List Locality_cachesim Locality_core Locality_interp Locality_ir Locality_suite Loop Pretty Printf Program String

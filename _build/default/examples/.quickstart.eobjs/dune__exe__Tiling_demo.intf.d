@@ -1,0 +1,1 @@
+examples/tiling_demo.mli:

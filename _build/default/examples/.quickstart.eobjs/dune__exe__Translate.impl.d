@@ -1,0 +1,1 @@
+examples/translate.ml: List Locality_core Locality_interp Locality_ir Locality_lang Printf

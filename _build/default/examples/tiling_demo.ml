@@ -1,0 +1,48 @@
+(* Section 6 of the paper: once a nest is in memory order, tiling
+   captures the long-term reuse carried by outer loops. Matrix transpose
+   is the paper's own example of a nest that loop ordering alone cannot
+   help — one array is walked across columns whichever loop is inner.
+
+   Run with: dune exec examples/tiling_demo.exe *)
+
+open Locality_ir
+module Core = Locality_core
+module Kernels = Locality_suite.Kernels
+module Measure = Locality_interp.Measure
+module Machine = Locality_cachesim.Machine
+
+let () =
+  let n = 64 in
+  let p = Kernels.transpose n in
+  print_endline "Matrix transpose:";
+  print_endline (Pretty.program_to_string p);
+
+  let nest = List.hd (Program.top_loops p) in
+
+  (* Reordering cannot help: both orders cost the same. *)
+  Format.printf "\n%a" Core.Memorder.pp (Core.Memorder.compute ~cls:4 nest);
+  Format.print_flush ();
+  let transformed, _ = Core.Compound.run_program ~cls:4 p in
+  Printf.printf "compound changes the program: %b\n\n"
+    (Pretty.program_to_string transformed <> Pretty.program_to_string p);
+
+  (* The paper's §6 criterion recommends tiling here: the outer loop
+     carries unit-stride references. *)
+  let band = Core.Tiling.recommend ~cls:4 nest in
+  Printf.printf "tiling recommendation: {%s} + inner loop\n"
+    (String.concat ", " band);
+
+  let band = [ "I"; "J" ] in
+  (match Core.Tiling.tile ~sizes:8 nest ~band with
+  | None -> print_endline "tiling refused (unexpected)"
+  | Some tiled ->
+    let p' = Program.map_body (fun _ -> [ Loop.Loop tiled ]) p in
+    print_endline "\nTiled (8x8):";
+    print_endline (Pretty.program_to_string p');
+    Printf.printf "\nsemantics preserved: %b\n"
+      (Locality_interp.Exec.equivalent p p');
+    let before = Measure.measure ~config:Machine.cache2 p in
+    let after = Measure.measure ~config:Machine.cache2 p' in
+    Printf.printf "i860-style cache hit rate: %.2f%% -> %.2f%%\n"
+      (Measure.hit_rate before.Measure.whole)
+      (Measure.hit_rate after.Measure.whole))

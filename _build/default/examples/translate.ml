@@ -1,0 +1,42 @@
+(* The source-to-source story: parse a kernel written in the Fortran-77
+   style mini-language, optimize it, and print the rewritten source —
+   what the paper's Memoria translator did.
+
+   Run with: dune exec examples/translate.exe *)
+
+module Lower = Locality_lang.Lower
+module Core = Locality_core
+module Pretty = Locality_ir.Pretty
+
+let source =
+  {|
+PROGRAM stencil
+PARAMETER (N = 200)
+REAL U(N,N), V(N,N), W(N,N)
+C A five-point update written row-major, plus a scaling pass
+DO I = 2, N-1
+  DO J = 2, N-1
+    V(I,J) = 0.25 * (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))
+  ENDDO
+ENDDO
+DO I = 2, N-1
+  DO J = 2, N-1
+    W(I,J) = V(I,J) * 2.0
+  ENDDO
+ENDDO
+END
+|}
+
+let () =
+  print_endline "Input source:";
+  print_string source;
+  let program = Lower.parse_program source in
+  let transformed, stats = Core.Compound.run_program ~cls:4 program in
+  print_endline "\nOptimized source:";
+  print_endline (Pretty.program_to_string transformed);
+  Printf.printf
+    "\n%d nest(s) considered, %d fused, %d distributed\n"
+    (List.length stats.Core.Compound.nests)
+    stats.Core.Compound.fusions_applied stats.Core.Compound.distributions;
+  Printf.printf "results unchanged: %b\n"
+    (Locality_interp.Exec.equivalent program transformed)

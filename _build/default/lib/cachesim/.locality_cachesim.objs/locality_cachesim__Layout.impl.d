@@ -1,0 +1,1 @@
+lib/cachesim/layout.ml: Array Decl Expr Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/cachesim/layout.mli: Decl

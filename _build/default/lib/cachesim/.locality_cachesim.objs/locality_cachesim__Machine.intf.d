@@ -1,0 +1,1 @@
+lib/cachesim/machine.mli: Cache

@@ -1,0 +1,1 @@
+lib/cachesim/tilesize.ml: Cache Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/cachesim/tilesize.mli: Cache

@@ -1,0 +1,137 @@
+type config = {
+  name : string;
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+}
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  cold_misses : int;
+  writes : int;
+  write_hits : int;
+  writebacks : int;
+}
+
+type t = {
+  config : config;
+  sets : int;
+  tags : int array;  (** sets * assoc entries; -1 = invalid *)
+  ages : int array;  (** LRU clock per entry *)
+  dirty : bool array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable cold : int;
+  mutable writes : int;
+  mutable write_hits : int;
+  mutable writebacks : int;
+  seen : (int, unit) Hashtbl.t;  (** line addresses ever touched *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config_valid c =
+  is_pow2 c.size_bytes && is_pow2 c.line_bytes && c.assoc > 0
+  && c.line_bytes <= c.size_bytes
+  && c.size_bytes mod (c.line_bytes * c.assoc) = 0
+
+let create config =
+  if not (config_valid config) then invalid_arg "Cache.create: bad config";
+  let sets = config.size_bytes / (config.line_bytes * config.assoc) in
+  {
+    config;
+    sets;
+    tags = Array.make (sets * config.assoc) (-1);
+    ages = Array.make (sets * config.assoc) 0;
+    dirty = Array.make (sets * config.assoc) false;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    cold = 0;
+    writes = 0;
+    write_hits = 0;
+    writebacks = 0;
+    seen = Hashtbl.create 4096;
+  }
+
+let access_full t ?(write = false) addr =
+  let line = addr / t.config.line_bytes in
+  let set = line mod t.sets in
+  let base = set * t.config.assoc in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  if write then t.writes <- t.writes + 1;
+  let rec find i =
+    if i = t.config.assoc then None
+    else if t.tags.(base + i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.hits <- t.hits + 1;
+    if write then begin
+      t.write_hits <- t.write_hits + 1;
+      t.dirty.(base + i) <- true
+    end;
+    t.ages.(base + i) <- t.clock;
+    (`Hit, None)
+  | None ->
+    let cold = not (Hashtbl.mem t.seen line) in
+    if cold then begin
+      Hashtbl.add t.seen line ();
+      t.cold <- t.cold + 1
+    end;
+    (* Evict the least recently used way; a dirty victim is written
+       back. *)
+    let victim = ref 0 in
+    for i = 1 to t.config.assoc - 1 do
+      if t.ages.(base + i) < t.ages.(base + !victim) then victim := i
+    done;
+    let written_back =
+      if t.dirty.(base + !victim) && t.tags.(base + !victim) >= 0 then begin
+        t.writebacks <- t.writebacks + 1;
+        Some t.tags.(base + !victim)
+      end
+      else None
+    in
+    t.tags.(base + !victim) <- line;
+    t.ages.(base + !victim) <- t.clock;
+    t.dirty.(base + !victim) <- write;
+    ((if cold then `Cold else `Miss), written_back)
+
+let access_classified t addr = fst (access_full t addr)
+let access t addr = access_classified t addr = `Hit
+
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    misses = t.accesses - t.hits;
+    cold_misses = t.cold;
+    writes = t.writes;
+    write_hits = t.write_hits;
+    writebacks = t.writebacks;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.cold <- 0;
+  t.writes <- 0;
+  t.write_hits <- 0;
+  t.writebacks <- 0;
+  Hashtbl.reset t.seen
+
+let hit_rate ?(exclude_cold = true) (s : stats) =
+  let denom = if exclude_cold then s.accesses - s.cold_misses else s.accesses in
+  if denom <= 0 then 100.0 else 100.0 *. float_of_int s.hits /. float_of_int denom
+
+let num_sets t = t.sets
+let lines_touched t = Hashtbl.length t.seen

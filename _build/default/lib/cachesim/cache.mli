@@ -1,0 +1,57 @@
+(** A set-associative data cache with LRU replacement.
+
+    Simulates hits and misses for an address trace; used to reproduce the
+    paper's Table 4 (simulated cache hit rates on the RS/6000 and i860
+    cache geometries). Cold (first-touch) misses are tracked separately
+    because Table 4 excludes them. *)
+
+type config = {
+  name : string;
+  size_bytes : int;
+  assoc : int;  (** number of ways; 1 = direct-mapped *)
+  line_bytes : int;
+}
+
+type t
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;  (** including cold misses *)
+  cold_misses : int;  (** first-ever touch of a line *)
+  writes : int;
+  write_hits : int;
+  writebacks : int;  (** dirty lines evicted (write-back policy) *)
+}
+
+val config_valid : config -> bool
+(** Size, line size and associativity are positive powers of two and
+    consistent. *)
+
+val create : config -> t
+(** @raise Invalid_argument on an invalid configuration. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the byte address and reports a hit. *)
+
+val access_classified : t -> int -> [ `Hit | `Cold | `Miss ]
+(** Like {!access}, distinguishing cold (first-touch) misses from
+    capacity/conflict misses. *)
+
+val access_full :
+  t -> ?write:bool -> int -> [ `Hit | `Cold | `Miss ] * int option
+(** Full result: the classification plus the line address written back
+    when a dirty victim was evicted (write-back, write-allocate). *)
+
+val stats : t -> stats
+val reset : t -> unit
+(** Clear contents and statistics, including cold-miss tracking. *)
+
+val hit_rate : ?exclude_cold:bool -> stats -> float
+(** Hits over accesses, in percent; with [exclude_cold] (default true,
+    as in Table 4) cold misses are removed from the denominator. 100.0
+    when there are no qualifying accesses. *)
+
+val num_sets : t -> int
+val lines_touched : t -> int
+(** Number of distinct cache lines ever referenced. *)

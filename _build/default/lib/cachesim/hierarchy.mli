@@ -1,0 +1,25 @@
+(** A two-level cache hierarchy (write-back, write-allocate).
+
+    The paper's framework notes that higher degrees of tiling can exploit
+    multi-level caches; this model lets those experiments run: accesses
+    go to L1, L1 misses are filled from L2, and dirty L1 victims are
+    written back into L2. *)
+
+type t
+
+val create : l1:Cache.config -> l2:Cache.config -> t
+(** @raise Invalid_argument when a configuration is invalid or L2's line
+    size is smaller than L1's. *)
+
+val access : t -> ?write:bool -> int -> [ `L1_hit | `L2_hit | `Memory ]
+(** Where the access was satisfied. *)
+
+val l1_stats : t -> Cache.stats
+val l2_stats : t -> Cache.stats
+val writebacks : t -> int
+(** Dirty L1 lines pushed into L2 on eviction. *)
+
+val amat :
+  ?l1_time:float -> ?l2_time:float -> ?mem_time:float -> t -> float
+(** Average memory access time in cycles (defaults 1 / 8 / 40). 0 when
+    no accesses were made. *)

@@ -1,0 +1,64 @@
+type info = {
+  base : int;
+  extents : int array;
+  elem_size : int;
+}
+
+type t = { tbl : (string, info) Hashtbl.t; mutable total : int; base0 : int }
+
+let build ?(base = 0) ?(align = 128) ~param decls =
+  let tbl = Hashtbl.create 16 in
+  let cursor = ref base in
+  List.iter
+    (fun (d : Decl.t) ->
+      let extents =
+        Array.of_list
+          (List.map (fun e -> Expr.eval e param) d.Decl.extents)
+      in
+      Array.iter
+        (fun n ->
+          if n <= 0 then
+            invalid_arg
+              (Printf.sprintf "Layout.build: non-positive extent in %s"
+                 d.Decl.name))
+        extents;
+      let elems = Array.fold_left ( * ) 1 extents in
+      let info = { base = !cursor; extents; elem_size = d.Decl.elem_size } in
+      Hashtbl.replace tbl d.Decl.name info;
+      let bytes = elems * d.Decl.elem_size in
+      let bytes = (bytes + align - 1) / align * align in
+      cursor := !cursor + bytes)
+    decls;
+  { tbl; total = !cursor - base; base0 = base }
+
+let info t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Layout: unknown array %s" name)
+
+let flat_offset t name subs =
+  let i = info t name in
+  if Array.length subs <> Array.length i.extents then
+    invalid_arg (Printf.sprintf "Layout: rank mismatch for %s" name);
+  let off = ref 0 and stride = ref 1 in
+  Array.iteri
+    (fun k s ->
+      if s < 1 || s > i.extents.(k) then
+        invalid_arg
+          (Printf.sprintf "Layout: %s subscript %d = %d out of [1,%d]" name
+             (k + 1) s i.extents.(k));
+      off := !off + ((s - 1) * !stride);
+      stride := !stride * i.extents.(k))
+    subs;
+  !off
+
+let address t name subs =
+  let i = info t name in
+  i.base + (flat_offset t name subs * i.elem_size)
+
+let size_elements t name =
+  Array.fold_left ( * ) 1 (info t name).extents
+
+let elem_size t name = (info t name).elem_size
+let total_bytes t = t.total
+let arrays t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []

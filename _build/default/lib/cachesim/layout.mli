@@ -1,0 +1,24 @@
+(** Column-major (Fortran) memory layout for the declared arrays of a
+    program.
+
+    Each array is placed at a line-aligned base address; the first
+    subscript varies fastest. Subscripts are 1-based, as in Fortran. *)
+
+type t
+
+val build : ?base:int -> ?align:int -> param:(string -> int) -> Decl.t list -> t
+(** Lay out the arrays in declaration order. [param] evaluates symbolic
+    extents; [align] (default 128) aligns bases. *)
+
+val address : t -> string -> int array -> int
+(** Byte address of an element given its 1-based subscripts.
+    @raise Invalid_argument for unknown arrays or rank mismatch;
+    subscripts outside the declared extents raise too (bounds check). *)
+
+val flat_offset : t -> string -> int array -> int
+(** Column-major element offset (0-based) of a subscript vector. *)
+
+val size_elements : t -> string -> int
+val elem_size : t -> string -> int
+val total_bytes : t -> int
+val arrays : t -> string list

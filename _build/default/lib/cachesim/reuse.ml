@@ -1,0 +1,84 @@
+(* Bennett-Kruskal: a Fenwick tree over access times holds one mark per
+   distinct line at its most recent access time; the reuse distance of an
+   access is the number of marks after the line's previous time. *)
+
+type t = {
+  mutable bit : int array;  (** 1-based Fenwick array *)
+  mutable capacity : int;
+  mutable time : int;
+  last : (int, int) Hashtbl.t;  (** line -> last access time *)
+  dist : (int, int) Hashtbl.t;  (** finite distance -> count *)
+  mutable cold : int;
+  mutable accesses : int;
+  line_bytes : int;
+}
+
+let create ?(line_bytes = 32) () =
+  {
+    bit = Array.make 1025 0;
+    capacity = 1024;
+    time = 0;
+    last = Hashtbl.create 4096;
+    dist = Hashtbl.create 256;
+    cold = 0;
+    accesses = 0;
+    line_bytes;
+  }
+
+let bit_add t i delta =
+  let i = ref i in
+  while !i <= t.capacity do
+    t.bit.(!i) <- t.bit.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+let bit_sum t i =
+  let i = ref i and s = ref 0 in
+  while !i > 0 do
+    s := !s + t.bit.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !s
+
+let grow t =
+  t.capacity <- t.capacity * 2;
+  t.bit <- Array.make (t.capacity + 1) 0;
+  Hashtbl.iter (fun _ time -> bit_add t time 1) t.last
+
+let access t addr =
+  let line = addr / t.line_bytes in
+  t.accesses <- t.accesses + 1;
+  t.time <- t.time + 1;
+  if t.time > t.capacity then grow t;
+  (match Hashtbl.find_opt t.last line with
+  | Some t_old ->
+    let marks_after = Hashtbl.length t.last - bit_sum t t_old in
+    Hashtbl.replace t.dist marks_after
+      (1 + Option.value (Hashtbl.find_opt t.dist marks_after) ~default:0);
+    bit_add t t_old (-1)
+  | None -> t.cold <- t.cold + 1);
+  bit_add t t.time 1;
+  Hashtbl.replace t.last line t.time
+
+let accesses t = t.accesses
+let cold t = t.cold
+let distinct_lines t = Hashtbl.length t.last
+
+let histogram t =
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) t.dist []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let predicted_hit_rate ?(exclude_cold = true) t ~lines =
+  let hits =
+    Hashtbl.fold (fun d c acc -> if d < lines then acc + c else acc) t.dist 0
+  in
+  let denom = if exclude_cold then t.accesses - t.cold else t.accesses in
+  if denom <= 0 then 100.0 else 100.0 *. float_of_int hits /. float_of_int denom
+
+let mean_distance t =
+  let total, count =
+    Hashtbl.fold
+      (fun d c (s, n) -> (s + (d * c), n + c))
+      t.dist (0, 0)
+  in
+  if count = 0 then 0.0 else float_of_int total /. float_of_int count

@@ -1,0 +1,86 @@
+type verdict = {
+  tile : int;
+  footprint_lines : int;
+  conflict_free : bool;
+}
+
+let candidates ~cache_elems ~stride =
+  if cache_elems <= 0 || stride <= 0 then invalid_arg "Tilesize.candidates"
+  else begin
+    let rec go a b acc =
+      if b <= 1 then List.rev acc else go b (a mod b) (b :: acc)
+    in
+    let seq = go cache_elems (stride mod cache_elems) [] in
+    List.sort (fun x y -> compare y x) seq
+  end
+
+(* Map every element of a T×T column-major tile through the cache
+   geometry; count, per set, how many distinct lines land there. *)
+let occupancy (cfg : Cache.config) ~elem_size ~stride ~tile =
+  if tile <= 0 || stride <= 0 || elem_size <= 0 then
+    invalid_arg "Tilesize: tile, stride and elem_size must be positive";
+  let nsets = cfg.Cache.size_bytes / (cfg.Cache.line_bytes * cfg.Cache.assoc) in
+  let nsets = max 1 nsets in
+  let lines_of_set = Hashtbl.create 64 in
+  let seen_lines = Hashtbl.create 64 in
+  for c = 0 to tile - 1 do
+    for r = 0 to tile - 1 do
+      let addr = ((c * stride) + r) * elem_size in
+      let line = addr / cfg.Cache.line_bytes in
+      if not (Hashtbl.mem seen_lines line) then begin
+        Hashtbl.replace seen_lines line ();
+        let set = line mod nsets in
+        Hashtbl.replace lines_of_set set
+          (1 + Option.value ~default:0 (Hashtbl.find_opt lines_of_set set))
+      end
+    done
+  done;
+  (lines_of_set, Hashtbl.length seen_lines)
+
+let self_conflicts ?ways cfg ~elem_size ~stride ~tile =
+  let ways = Option.value ~default:cfg.Cache.assoc ways in
+  let per_set, _ = occupancy cfg ~elem_size ~stride ~tile in
+  Hashtbl.fold (fun _ n acc -> acc + max 0 (n - ways)) per_set 0
+
+let footprint cfg ~elem_size ~stride ~tile =
+  snd (occupancy cfg ~elem_size ~stride ~tile)
+
+let choose ?(max_fill = 0.7) ?(reserve_ways = 1) (cfg : Cache.config)
+    ~elem_size ~stride =
+  if stride <= 0 || elem_size <= 0 then invalid_arg "Tilesize.choose";
+  if not (max_fill > 0.0 && max_fill <= 1.0) then
+    invalid_arg "Tilesize.choose: max_fill must be in (0, 1]";
+  if reserve_ways < 0 then
+    invalid_arg "Tilesize.choose: reserve_ways must be non-negative";
+  let ways = max 1 (cfg.Cache.assoc - reserve_ways) in
+  let cache_lines = cfg.Cache.size_bytes / cfg.Cache.line_bytes in
+  let limit_lines =
+    max 1 (int_of_float (max_fill *. float_of_int cache_lines))
+  in
+  let cache_elems = cfg.Cache.size_bytes / elem_size in
+  let pow2 =
+    let rec up t acc = if t > stride then acc else up (2 * t) (t :: acc) in
+    up 2 []
+  in
+  let all =
+    candidates ~cache_elems ~stride @ pow2 @ [ stride ]
+    |> List.filter (fun t -> t >= 2 && t <= stride)
+    |> List.sort_uniq (fun x y -> compare y x)
+  in
+  let ok t =
+    self_conflicts ~ways cfg ~elem_size ~stride ~tile:t = 0
+    && footprint cfg ~elem_size ~stride ~tile:t <= limit_lines
+  in
+  match List.find_opt ok all with
+  | Some t ->
+    {
+      tile = t;
+      footprint_lines = footprint cfg ~elem_size ~stride ~tile:t;
+      conflict_free = true;
+    }
+  | None ->
+    {
+      tile = 2;
+      footprint_lines = footprint cfg ~elem_size ~stride ~tile:2;
+      conflict_free = self_conflicts ~ways cfg ~elem_size ~stride ~tile:2 = 0;
+    }

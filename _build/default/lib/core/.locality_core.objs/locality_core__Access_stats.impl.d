@@ -1,0 +1,1 @@
+lib/core/access_stats.ml: Expr List Locality_dep Loop Loopcost Memorder Program Reference Refgroup Stmt String

@@ -1,0 +1,1 @@
+lib/core/access_stats.mli: Loop Program

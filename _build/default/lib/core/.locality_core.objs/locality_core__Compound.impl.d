@@ -1,0 +1,1 @@
+lib/core/compound.ml: Distribution Fusion List Loop Loopcost Memorder Permute Poly Program Stmt

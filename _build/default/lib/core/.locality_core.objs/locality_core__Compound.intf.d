@@ -1,0 +1,1 @@
+lib/core/compound.mli: Loop Poly Program

@@ -1,0 +1,1 @@
+lib/core/distribution.ml: Array Hashtbl List Locality_dep Loop Permute Stmt

@@ -1,0 +1,1 @@
+lib/core/distribution.mli: Loop

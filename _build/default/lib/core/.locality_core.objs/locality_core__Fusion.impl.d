@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Affine Array Expr Hashtbl List Locality_dep Loop Loopcost Poly Printf Reference Set Stmt String

@@ -1,0 +1,1 @@
+lib/core/interchange.ml: Affine Expr List Locality_dep Loop String

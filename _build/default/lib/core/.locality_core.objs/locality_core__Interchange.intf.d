@@ -1,0 +1,1 @@
+lib/core/interchange.mli: Loop

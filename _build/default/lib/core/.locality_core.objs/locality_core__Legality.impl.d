@@ -1,0 +1,1 @@
+lib/core/legality.ml: List Locality_dep String

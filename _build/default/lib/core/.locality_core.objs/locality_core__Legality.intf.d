@@ -1,0 +1,1 @@
+lib/core/legality.mli: Locality_dep

@@ -1,0 +1,1 @@
+lib/core/loopcost.ml: Affine Expr List Locality_dep Loop Poly Rat Reference Refgroup String Trip

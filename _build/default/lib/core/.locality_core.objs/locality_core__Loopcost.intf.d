@@ -1,0 +1,1 @@
+lib/core/loopcost.mli: Locality_dep Loop Poly Reference Refgroup Trip

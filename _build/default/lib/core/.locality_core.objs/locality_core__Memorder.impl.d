@@ -1,0 +1,1 @@
+lib/core/memorder.ml: Format List Loopcost Poly String

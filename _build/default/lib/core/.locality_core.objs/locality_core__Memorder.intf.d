@@ -1,0 +1,1 @@
+lib/core/memorder.mli: Format Locality_dep Loop Poly

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: List Locality_dep Loop Program String

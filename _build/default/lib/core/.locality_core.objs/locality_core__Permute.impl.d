@@ -1,0 +1,1 @@
+lib/core/permute.ml: Hashtbl Interchange Legality List Locality_dep Loop Memorder Poly Reversal String

@@ -1,0 +1,1 @@
+lib/core/permute.mli: Loop Memorder

@@ -1,0 +1,1 @@
+lib/core/refgroup.ml: Affine Array Expr Format Hashtbl List Locality_dep Loop Reference Stmt String

@@ -1,0 +1,1 @@
+lib/core/refgroup.mli: Format Locality_dep Loop Reference Stmt

@@ -1,0 +1,1 @@
+lib/core/reversal.ml: Expr List Loop Stmt String

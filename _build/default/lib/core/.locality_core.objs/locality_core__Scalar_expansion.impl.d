@@ -1,0 +1,1 @@
+lib/core/scalar_expansion.ml: Decl Expr List Loop Printf Program Reference Set Stmt String

@@ -1,0 +1,1 @@
+lib/core/scalar_expansion.mli: Loop Program

@@ -1,0 +1,1 @@
+lib/core/scalar_replacement.ml: Affine Expr Hashtbl List Loop Printf Reference Stmt

@@ -1,0 +1,1 @@
+lib/core/skewing.ml: Expr List Loop Stmt String

@@ -1,0 +1,1 @@
+lib/core/skewing.mli: Loop

@@ -1,0 +1,1 @@
+lib/core/tiling.ml: Expr List Locality_dep Loop Loopcost Refgroup String

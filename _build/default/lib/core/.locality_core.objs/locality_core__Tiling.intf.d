@@ -1,0 +1,1 @@
+lib/core/tiling.mli: Locality_dep Loop

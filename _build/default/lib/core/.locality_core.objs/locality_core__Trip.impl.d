@@ -1,0 +1,1 @@
+lib/core/trip.ml: Expr List Loop Poly Rat String

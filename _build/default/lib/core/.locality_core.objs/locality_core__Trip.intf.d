@@ -1,0 +1,1 @@
+lib/core/trip.mli: Expr Loop Poly

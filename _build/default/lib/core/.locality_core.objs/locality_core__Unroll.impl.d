@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Affine Expr Hashtbl Legality List Locality_dep Loop Option Printf Reference Scalar_replacement Stmt String

@@ -1,0 +1,158 @@
+module Prove = Locality_dep.Prove
+
+let mentions (e : Expr.t) x = List.mem x (Expr.vars e)
+
+(* Choose the provably-largest (or smallest) of the candidate bound
+   expressions over the iteration space described by [order]. *)
+let resolve ~order ~largest candidates =
+  let dominates a b =
+    (* a >= b (or a <= b when not largest) everywhere *)
+    match (Affine.of_expr a, Affine.of_expr b) with
+    | Some aa, Some ab ->
+      let diff = if largest then Affine.sub aa ab else Affine.sub ab aa in
+      Prove.nonneg order diff
+    | _, _ -> false
+  in
+  let rec pick best = function
+    | [] -> Some best
+    | c :: rest ->
+      if dominates best c then pick best rest
+      else if dominates c best then pick c rest
+      else None
+  in
+  match candidates with [] -> None | c :: rest -> pick c rest
+
+let swap_adjacent ~context (outer : Loop.header) (inner : Loop.header) =
+  let i = outer.Loop.index and j = inner.Loop.index in
+  if outer.Loop.step <> 1 || inner.Loop.step <> 1 then
+    if mentions inner.Loop.lb i || mentions inner.Loop.ub i then None
+    else Some (inner, outer)
+  else if not (mentions inner.Loop.lb i || mentions inner.Loop.ub i) then
+    Some (inner, outer)
+  else
+    (* Triangular: region l1 <= i <= u1, l2(i) <= j <= u2(i). *)
+    match (Affine.of_expr inner.Loop.lb, Affine.of_expr inner.Loop.ub) with
+    | Some l2, Some u2 ->
+      let cl = Affine.coeff l2 i and cu = Affine.coeff u2 i in
+      if abs cl > 1 || abs cu > 1 then None
+      else
+        let l1 = outer.Loop.lb and u1 = outer.Loop.ub in
+        let subst_i a bound =
+          match Affine.of_expr bound with
+          | None -> None
+          | Some b -> Some (Affine.to_expr (Affine.subst a i b))
+        in
+        (* New outer (j) bounds: extreme of the old inner bounds over i. *)
+        let j_lb = subst_i l2 (if cl > 0 then l1 else u1) in
+        let j_ub = subst_i u2 (if cu > 0 then u1 else l1) in
+        (match (j_lb, j_ub) with
+        | Some j_lb, Some j_ub ->
+          let new_outer = { inner with Loop.lb = j_lb; ub = j_ub } in
+          (* Constraints of the old bounds solved for i. l2 = +-i + r. *)
+          let jv = Affine.of_expr (Expr.Var j) in
+          let solve a c =
+            (* a = c*i + rest; c = +-1. j >= a (for lb) or j <= a (ub). *)
+            let rest = Affine.subst a i (Affine.of_const 0) in
+            match (jv, c) with
+            | Some jv, 1 -> Some (Affine.to_expr (Affine.sub jv rest))
+            | Some jv, -1 -> Some (Affine.to_expr (Affine.sub rest jv))
+            | _, _ -> None
+          in
+          let i_lbs = ref [ outer.Loop.lb ] and i_ubs = ref [ outer.Loop.ub ] in
+          let ok = ref true in
+          (* j >= l2(i): c=+1 gives i <= j - rest (ub); c=-1 gives i >= rest - j (lb) *)
+          (if cl = 1 then
+             match solve l2 1 with
+             | Some e -> i_ubs := e :: !i_ubs
+             | None -> ok := false
+           else if cl = -1 then
+             match solve l2 (-1) with
+             | Some e -> i_lbs := e :: !i_lbs
+             | None -> ok := false);
+          (* j <= u2(i): c=+1 gives i >= j - rest (lb); c=-1 gives i <= rest - j (ub) *)
+          (if cu = 1 then
+             match solve u2 1 with
+             | Some e -> i_lbs := e :: !i_lbs
+             | None -> ok := false
+           else if cu = -1 then
+             match solve u2 (-1) with
+             | Some e -> i_ubs := e :: !i_ubs
+             | None -> ok := false);
+          if not !ok then None
+          else
+            let order = Prove.of_headers (context @ [ new_outer ]) in
+            (match
+               ( resolve ~order ~largest:true !i_lbs,
+                 resolve ~order ~largest:false !i_ubs )
+             with
+            | Some lb, Some ub ->
+              let new_inner =
+                {
+                  outer with
+                  Loop.lb = Expr.simplify lb;
+                  ub = Expr.simplify ub;
+                }
+              in
+              Some (new_outer, new_inner)
+            | _, _ -> None)
+        | _, _ -> None)
+    | _, _ -> None
+
+let permute_spine (nest : Loop.t) target =
+  if not (Loop.is_perfect nest) then None
+  else
+    let spine = Loop.loops_on_spine nest in
+    let names = List.map (fun (h : Loop.header) -> h.Loop.index) spine in
+    if List.sort compare names <> List.sort compare target then None
+    else if List.length names <> List.length target then None
+    else
+      let rank x =
+        let rec go i = function
+          | [] -> invalid_arg "permute_spine: rank"
+          | y :: rest -> if String.equal x y then i else go (i + 1) rest
+        in
+        go 0 target
+      in
+      (* Bubble sort with adjacent interchanges, each of which may rewrite
+         triangular bounds. *)
+      let rec bubble context headers =
+        match headers with
+        | a :: b :: rest when rank a.Loop.index > rank b.Loop.index -> (
+          match swap_adjacent ~context a b with
+          | None -> None
+          | Some (a', b') -> Some (a' :: b' :: rest))
+        | a :: rest -> (
+          match bubble (context @ [ a ]) rest with
+          | None -> None
+          | Some rest' -> Some (a :: rest'))
+        | [] -> None
+      in
+      let sorted headers =
+        List.for_all2
+          (fun h t -> String.equal h.Loop.index t)
+          headers target
+      in
+      let rec fix headers fuel =
+        if sorted headers then Some headers
+        else if fuel = 0 then None
+        else
+          match bubble [] headers with
+          | None -> None
+          | Some headers' -> fix headers' (fuel - 1)
+      in
+      let innermost_body =
+        let rec go (l : Loop.t) =
+          match l.body with [ Loop.Loop inner ] -> go inner | b -> b
+        in
+        go nest
+      in
+      match fix spine (List.length spine * List.length spine) with
+      | None -> None
+      | Some headers ->
+        let rec rebuild = function
+          | [] -> innermost_body
+          | h :: rest -> [ Loop.Loop { Loop.header = h; body = rebuild rest } ]
+        in
+        (match rebuild headers with
+        | [ Loop.Loop l ] -> Some l
+        | _ -> None)

@@ -1,0 +1,30 @@
+module Dep = Locality_dep.Depend
+module Direction = Locality_dep.Direction
+
+let reorder_vec (d : Dep.t) ~target =
+  let entry l =
+    let rec find ls vs =
+      match (ls, vs) with
+      | l' :: _, v :: _ when String.equal l' l -> Some v
+      | _ :: ls, _ :: vs -> find ls vs
+      | _, _ -> None
+    in
+    find d.loops d.vec
+  in
+  List.filter_map entry target
+
+let permutation_legal ~deps ~target =
+  List.for_all
+    (fun (d : Dep.t) -> Direction.lex_nonneg (reorder_vec d ~target))
+    deps
+
+let reversal_legal ~deps ~loop =
+  List.for_all
+    (fun (d : Dep.t) ->
+      let vec' =
+        List.map2
+          (fun l e -> if String.equal l loop then Direction.negate_elt e else e)
+          d.loops d.vec
+      in
+      Direction.lex_nonneg vec')
+    deps

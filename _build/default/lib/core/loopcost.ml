@@ -1,0 +1,124 @@
+module An = Locality_dep.Analysis
+
+type ref_class = Invariant | Consecutive | None_
+
+(* Coefficient of the candidate index in a subscript: [None] marks a
+   non-affine subscript that mentions the index (unknown access pattern). *)
+let sub_coeff (e : Expr.t) idx =
+  match Affine.of_expr e with
+  | Some a -> Some (Affine.coeff a idx)
+  | None -> if List.mem idx (Expr.vars e) then None else Some 0
+
+let classify ~cls ~(candidate : Loop.header) (r : Reference.t) =
+  let idx = candidate.Loop.index in
+  let coeffs = List.map (fun s -> sub_coeff s idx) r.Reference.subs in
+  match coeffs with
+  | [] -> Invariant (* scalar *)
+  | first :: rest ->
+    let rest_zero = List.for_all (fun c -> c = Some 0) rest in
+    (match first with
+    | Some 0 when rest_zero -> Invariant
+    | Some c when c <> 0 && rest_zero && abs (candidate.Loop.step * c) < cls
+      ->
+      Consecutive
+    | _ -> None_)
+
+let ref_cost ~env ~cls ~(candidate : Loop.header) (r : Reference.t) =
+  let trip = Trip.closed_trip env candidate in
+  match classify ~cls ~candidate r with
+  | Invariant -> Poly.one
+  | Consecutive ->
+    let stride =
+      match sub_coeff (List.hd r.Reference.subs) candidate.Loop.index with
+      | Some c -> abs (candidate.Loop.step * c)
+      | None -> 1
+    in
+    (* trip / (cls / stride) *)
+    Poly.mul_rat (Rat.make stride cls) trip
+  | None_ -> trip
+
+let loop_cost ?deps ~nest ~cls loop =
+  let deps =
+    match deps with
+    | Some d -> d
+    | None -> An.deps_in_nest ~include_input:true nest
+  in
+  let env = Trip.env_of_nest nest in
+  let groups = Refgroup.compute ~nest ~deps ~loop ~cls in
+  List.fold_left
+    (fun acc (g : Refgroup.group) ->
+      let rep = g.Refgroup.rep in
+      let headers =
+        match Loop.enclosing_headers nest rep.Refgroup.stmt with
+        | Some hs -> hs
+        | None -> []
+      in
+      let candidate =
+        List.find_opt
+          (fun (h : Loop.header) -> String.equal h.Loop.index loop)
+          headers
+      in
+      let cost =
+        match candidate with
+        | Some h ->
+          let inner = ref_cost ~env ~cls ~candidate:h rep.Refgroup.ref_ in
+          List.fold_left
+            (fun acc (other : Loop.header) ->
+              if String.equal other.Loop.index loop then acc
+              else Poly.mul acc (Trip.closed_trip env other))
+            inner headers
+        | None ->
+          (* The candidate does not enclose this reference: no reuse can
+             be attributed to it; charge one line per iteration. *)
+          List.fold_left
+            (fun acc (other : Loop.header) ->
+              Poly.mul acc (Trip.closed_trip env other))
+            Poly.one headers
+      in
+      Poly.add acc cost)
+    Poly.zero groups
+
+let all_costs ?deps ~nest ~cls () =
+  let deps =
+    match deps with
+    | Some d -> d
+    | None -> An.deps_in_nest ~include_input:true nest
+  in
+  List.map (fun l -> (l, loop_cost ~deps ~nest ~cls l)) (Loop.indices nest)
+
+let group_cost_table ~nest ~cls ~candidates =
+  let deps = An.deps_in_nest ~include_input:true nest in
+  let env = Trip.env_of_nest nest in
+  match candidates with
+  | [] -> []
+  | first :: _ ->
+    let groups = Refgroup.compute ~nest ~deps ~loop:first ~cls in
+    List.map
+      (fun (g : Refgroup.group) ->
+        let rep = g.Refgroup.rep in
+        let headers =
+          match Loop.enclosing_headers nest rep.Refgroup.stmt with
+          | Some hs -> hs
+          | None -> []
+        in
+        let cost_for loop =
+          match
+            List.find_opt
+              (fun (h : Loop.header) -> String.equal h.Loop.index loop)
+              headers
+          with
+          | Some h ->
+            let inner = ref_cost ~env ~cls ~candidate:h rep.Refgroup.ref_ in
+            List.fold_left
+              (fun acc (other : Loop.header) ->
+                if String.equal other.Loop.index loop then acc
+                else Poly.mul acc (Trip.closed_trip env other))
+              inner headers
+          | None ->
+            List.fold_left
+              (fun acc (other : Loop.header) ->
+                Poly.mul acc (Trip.closed_trip env other))
+              Poly.one headers
+        in
+        (g, List.map (fun l -> (l, cost_for l)) candidates))
+      groups

@@ -1,0 +1,26 @@
+(** Memory order (Section 4.1): the permutation of a nest's loops sorted
+    by decreasing LoopCost, so the loop promoting the most reuse is
+    innermost. Symbolic costs are compared by dominating term. *)
+
+type t = {
+  ranked : (string * Poly.t) list;
+      (** loops from outermost to innermost position, with their costs *)
+  original : string list;  (** the nest's current loop order *)
+}
+
+val compute :
+  ?deps:Locality_dep.Depend.t list -> ?cls:int -> Loop.t -> t
+
+val order : t -> string list
+val innermost : t -> string
+(** The loop with the least cost — the most desirable inner loop. *)
+
+val is_memory_order : t -> bool
+(** The nest is already in memory order. An order is accepted when no
+    adjacent pair is strictly out of order (ties permute freely). *)
+
+val inner_is_best : t -> bool
+(** The current innermost loop already has the (possibly tied) least
+    cost. *)
+
+val pp : Format.formatter -> t -> unit

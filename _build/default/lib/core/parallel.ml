@@ -1,0 +1,47 @@
+module An = Locality_dep.Analysis
+module Dep = Locality_dep.Depend
+module Direction = Locality_dep.Direction
+
+(* A dependence is carried at the loop when its vector can be zero on
+   every outer level and non-zero at the loop's own position. *)
+let carried_at (d : Dep.t) loop =
+  let rec walk ls vs =
+    match (ls, vs) with
+    | l :: _, e :: _ when String.equal l loop -> not (Direction.must_zero e)
+    | _ :: ls, e :: vs -> Direction.may_zero e && walk ls vs
+    | _, _ -> false
+  in
+  walk d.Dep.loops d.Dep.vec
+
+let is_doall nest ~loop =
+  let deps = List.filter Dep.is_true_dep (An.deps_in_nest nest) in
+  not (List.exists (fun d -> carried_at d loop) deps)
+
+let parallel_loops nest =
+  List.filter (fun l -> is_doall nest ~loop:l) (Loop.indices nest)
+
+type report = {
+  loops : int;
+  doall : int;
+  outer_parallel : bool;
+  inner_sequential : bool;
+}
+
+let report nest =
+  let all = Loop.indices nest in
+  let par = parallel_loops nest in
+  let outermost = nest.Loop.header.Loop.index in
+  let innermost =
+    match List.rev (Loop.loops_on_spine nest) with
+    | h :: _ -> h.Loop.index
+    | [] -> outermost
+  in
+  {
+    loops = List.length all;
+    doall = List.length par;
+    outer_parallel = List.mem outermost par;
+    inner_sequential = not (List.mem innermost par);
+  }
+
+let program_summary (p : Program.t) =
+  List.map report (Program.top_loops p)

@@ -1,0 +1,136 @@
+module Dep = Locality_dep.Depend
+module Direction = Locality_dep.Direction
+
+type member = { stmt : Stmt.t; ref_ : Reference.t }
+
+type group = {
+  members : member list;
+  rep : member;
+  rep_depth : int;
+}
+
+let member_key m = m.stmt.Stmt.label ^ "|" ^ Reference.to_string m.ref_
+
+(* Distinct array references of the nest, textual order; duplicated
+   occurrences of one reference in a statement access the same line. *)
+let collect_members nest =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (r, _) ->
+          let m = { stmt = s; ref_ = r } in
+          let key = member_key m in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            out := m :: !out
+          end)
+        (Stmt.refs s))
+    (Loop.statements nest);
+  List.rev !out
+
+(* Union-find over member indices. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri <> rj then parent.(max ri rj) <- min ri rj
+
+(* Condition 2: group-spatial reuse. Same array, first subscripts differ
+   by a constant no larger than the line size, other subscripts equal. *)
+let spatial_related ~cls (r1 : Reference.t) (r2 : Reference.t) =
+  String.equal r1.Reference.array r2.Reference.array
+  && List.length r1.Reference.subs = List.length r2.Reference.subs
+  && List.length r1.Reference.subs > 0
+  &&
+  let firsts_close =
+    match
+      ( Affine.of_expr (List.hd r1.Reference.subs),
+        Affine.of_expr (List.hd r2.Reference.subs) )
+    with
+    | Some a1, Some a2 -> (
+      match Affine.is_const (Affine.sub a1 a2) with
+      | Some d -> abs d <= cls
+      | None -> false)
+    | _, _ -> false
+  in
+  firsts_close
+  && List.for_all2 Expr.equal (List.tl r1.Reference.subs)
+       (List.tl r2.Reference.subs)
+
+let compute ~nest ~deps ~loop ~cls =
+  let members = Array.of_list (collect_members nest) in
+  let n = Array.length members in
+  let parent = Array.init n (fun i -> i) in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i m -> Hashtbl.replace index_of (member_key m) i) members;
+  let lookup label r =
+    Hashtbl.find_opt index_of (label ^ "|" ^ Reference.to_string r)
+  in
+  (* Condition 1: group-temporal reuse via dependences. *)
+  List.iter
+    (fun (d : Dep.t) ->
+      match (lookup d.src_label d.src_ref, lookup d.snk_label d.snk_ref) with
+      | Some i, Some j when i <> j ->
+        let small_at_l =
+          match
+            List.mapi (fun k x -> (k + 1, x)) d.loops
+            |> List.find_opt (fun (_, x) -> String.equal x loop)
+          with
+          | Some (pos, _) -> Direction.small_constant_at d.vec pos
+          | None -> false
+        in
+        if d.li_always || small_at_l then union parent i j
+      | _, _ -> ())
+    deps;
+  (* Condition 2: group-spatial reuse. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if spatial_related ~cls members.(i).ref_ members.(j).ref_ then
+        union parent i j
+    done
+  done;
+  (* Assemble groups in order of first member. *)
+  let buckets = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun i m ->
+      let root = find parent i in
+      match Hashtbl.find_opt buckets root with
+      | None ->
+        Hashtbl.add buckets root (ref [ m ]);
+        order := root :: !order
+      | Some l -> l := m :: !l)
+    members;
+  let depth_of m =
+    match Loop.enclosing_headers nest m.stmt with
+    | Some hs -> List.length hs
+    | None -> 0
+  in
+  List.rev_map
+    (fun root ->
+      let members = List.rev !(Hashtbl.find buckets root) in
+      let rep =
+        List.fold_left
+          (fun best m -> if depth_of m > depth_of best then m else best)
+          (List.hd members) (List.tl members)
+      in
+      { members; rep; rep_depth = depth_of rep })
+    !order
+
+let pp_group ppf g =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map (fun m -> Reference.to_string m.ref_) g.members))

@@ -1,0 +1,25 @@
+(** Reference groups (Section 3.3).
+
+    Two references belong to the same group with respect to a loop [l]
+    when they exhibit group-temporal reuse (a loop-independent dependence,
+    or one carried by [l] with a small constant distance and zeros
+    elsewhere) or group-spatial reuse (same array, first subscripts
+    differing by less than the cache line size, other subscripts equal). *)
+
+type member = { stmt : Stmt.t; ref_ : Reference.t }
+
+type group = {
+  members : member list;  (** distinct references, textual order *)
+  rep : member;  (** representative: a deepest-nested member *)
+  rep_depth : int;  (** number of loops of the nest enclosing [rep] *)
+}
+
+val compute :
+  nest:Loop.t -> deps:Locality_dep.Depend.t list -> loop:string -> cls:int ->
+  group list
+(** Partition the array references of [nest] with respect to candidate
+    inner loop [loop]. [deps] must include input dependences (as produced
+    by [Analysis.deps_in_nest ~include_input:true]); [cls] is the cache
+    line size in array elements. Scalar references do not participate. *)
+
+val pp_group : Format.formatter -> group -> unit

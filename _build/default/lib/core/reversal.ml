@@ -1,0 +1,45 @@
+let apply nest ~loop =
+  let found = ref false in
+  let rec go (l : Loop.t) : Loop.t =
+    if String.equal l.header.Loop.index loop then begin
+      if l.header.Loop.step <> 1 then
+        invalid_arg "Reversal.apply: non-unit step";
+      found := true;
+      let h = l.header in
+      let mirror =
+        Expr.simplify
+          (Expr.Sub (Expr.Add (h.Loop.lb, h.Loop.ub), Expr.Var loop))
+      in
+      let rec subst_block b =
+        List.map
+          (function
+            | Loop.Stmt s -> Loop.Stmt (Stmt.subst_index s loop mirror)
+            | Loop.Loop inner ->
+              Loop.Loop
+                {
+                  Loop.header =
+                    {
+                      inner.Loop.header with
+                      Loop.lb = Expr.subst inner.Loop.header.Loop.lb loop mirror;
+                      ub = Expr.subst inner.Loop.header.Loop.ub loop mirror;
+                    };
+                  body = subst_block inner.Loop.body;
+                })
+          b
+      in
+      { l with body = subst_block l.body }
+    end
+    else
+      {
+        l with
+        body =
+          List.map
+            (function
+              | Loop.Stmt s -> Loop.Stmt s
+              | Loop.Loop inner -> Loop.Loop (go inner))
+            l.body;
+      }
+  in
+  let result = go nest in
+  if not !found then invalid_arg "Reversal.apply: loop not found";
+  result

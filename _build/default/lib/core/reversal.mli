@@ -1,0 +1,13 @@
+(** Loop reversal (Section 4.2).
+
+    Reversal runs a loop's iterations in the opposite order. It never
+    changes the reuse pattern but can enable a permutation by negating
+    the dependence entries of the reversed loop. Legal when the negated
+    vectors remain lexicographically non-negative. *)
+
+val apply : Loop.t -> loop:string -> Loop.t
+(** Reverse the named loop inside the nest by remapping its index
+    [i -> lb + ub - i] in every subscript and inner bound, which preserves
+    semantics exactly while reversing the access order.
+    @raise Invalid_argument when the loop has a non-unit step or is not
+    found. *)

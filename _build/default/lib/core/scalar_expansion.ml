@@ -1,0 +1,106 @@
+let candidates (l : Loop.t) =
+  let stmts = Loop.statements l in
+  let module S = Set.Make (String) in
+  let defined = ref S.empty and used_before_def = ref S.empty in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun x ->
+          if not (S.mem x !defined) then
+            used_before_def := S.add x !used_before_def)
+        (Stmt.scalars_read s);
+      List.iter
+        (fun x -> defined := S.add x !defined)
+        (Stmt.scalars_written s))
+    stmts;
+  S.elements (S.diff !defined !used_before_def)
+
+let rec loop_in_block (b : Loop.block) name =
+  List.fold_left
+    (fun acc node ->
+      match (acc, node) with
+      | Some _, _ -> acc
+      | None, Loop.Stmt _ -> None
+      | None, Loop.Loop l ->
+        if String.equal l.Loop.header.Loop.index name then Some l
+        else loop_in_block l.Loop.body name)
+    None b
+
+let expand (p : Program.t) ~loop ~scalar =
+  match loop_in_block p.Program.body loop with
+  | None -> Error (Printf.sprintf "loop %s not found" loop)
+  | Some target ->
+    if not (List.mem scalar (candidates target)) then
+      Error
+        (Printf.sprintf "%s is not safely expandable along %s" scalar loop)
+    else begin
+      (* The scalar must not be used elsewhere in the program. *)
+      let rec outside_use (b : Loop.block) =
+        List.exists
+          (fun node ->
+            match node with
+            | Loop.Stmt s ->
+              List.mem scalar (Stmt.scalars_read s)
+              || List.mem scalar (Stmt.scalars_written s)
+            | Loop.Loop l ->
+              if String.equal l.Loop.header.Loop.index loop then false
+              else outside_use l.Loop.body)
+          b
+      in
+      if outside_use p.Program.body then
+        Error (Printf.sprintf "%s escapes the %s loop" scalar loop)
+      else begin
+        let array = scalar ^ "_X" in
+        if Program.decl p array <> None then
+          Error (Printf.sprintf "array %s already exists" array)
+        else begin
+          let h = target.Loop.header in
+          (* Extent: the loop's upper bound (1-based subscripts use the
+             index directly, so lb >= 1 is required). *)
+          let ok_lb =
+            match Expr.simplify h.Loop.lb with
+            | Expr.Int k -> k >= 1
+            | _ -> true (* symbolic lower bounds are >= 1 by convention *)
+          in
+          if (not ok_lb) || h.Loop.step < 1 then
+            Error "loop bounds unsuitable for expansion"
+          else begin
+            let subst_stmt (s : Stmt.t) =
+              let re = Reference.make array [ Expr.Var loop ] in
+              let rec rx (e : Stmt.rexpr) =
+                match e with
+                | Stmt.Scalar x when String.equal x scalar -> Stmt.Load re
+                | Stmt.Const _ | Stmt.Scalar _ | Stmt.Iexpr _ | Stmt.Load _ -> e
+                | Stmt.Unop (op, a) -> Stmt.Unop (op, rx a)
+                | Stmt.Binop (op, a, b) -> Stmt.Binop (op, rx a, rx b)
+              in
+              let lhs =
+                match s.Stmt.lhs with
+                | Stmt.Scalar_set x when String.equal x scalar -> Stmt.Store re
+                | l -> l
+              in
+              { s with Stmt.lhs; rhs = rx s.Stmt.rhs }
+            in
+            let target' = Loop.map_statements subst_stmt target in
+            let rec replace (b : Loop.block) =
+              List.map
+                (fun node ->
+                  match node with
+                  | Loop.Stmt s -> Loop.Stmt s
+                  | Loop.Loop l ->
+                    if String.equal l.Loop.header.Loop.index loop then
+                      Loop.Loop target'
+                    else Loop.Loop { l with Loop.body = replace l.Loop.body })
+                b
+            in
+            let decls = p.Program.decls @ [ Decl.make array [ h.Loop.ub ] ] in
+            let p' =
+              { p with Program.decls; body = replace p.Program.body }
+            in
+            match Program.validate p' with
+            | Ok () -> Ok p'
+            | Error msg -> Error ("expansion produced invalid program: " ^ msg)
+          end
+        end
+      end
+    end

@@ -1,0 +1,153 @@
+type result = {
+  nest : Loop.t;
+  replaced : int;
+}
+
+let apply ?(prefix = "t_sr") (nest : Loop.t) =
+  if not (Loop.is_perfect nest) then { nest; replaced = 0 }
+  else begin
+    (* Innermost loop and the chain of outer headers. *)
+    let rec find_inner (l : Loop.t) outers =
+      match l.Loop.body with
+      | [ Loop.Loop inner ] -> find_inner inner (l :: outers)
+      | _ -> (l, outers)
+    in
+    let inner, outers = find_inner nest [] in
+    let iname = inner.Loop.header.Loop.index in
+    let stmts = Loop.block_statements inner.Loop.body in
+    (* Distinct references in the inner body, with write flags. *)
+    let tbl : (string, Reference.t * bool ref * int ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let arrays_refs : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun ((r : Reference.t), acc) ->
+            let key = Reference.to_string r in
+            (match Hashtbl.find_opt tbl key with
+            | Some (_, w, c) ->
+              incr c;
+              if acc = `Write then w := true
+            | None ->
+              Hashtbl.replace tbl key (r, ref (acc = `Write), ref 1));
+            let l =
+              match Hashtbl.find_opt arrays_refs r.Reference.array with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.replace arrays_refs r.Reference.array l;
+                l
+            in
+            if not (List.mem key !l) then l := key :: !l)
+          (Stmt.refs s))
+      stmts;
+    let invariant (r : Reference.t) =
+      List.for_all
+        (fun sub ->
+          match Affine.of_expr sub with
+          | Some a -> Affine.coeff a iname = 0
+          | None -> not (List.mem iname (Expr.vars sub)))
+        r.Reference.subs
+    in
+    (* Two references provably never touch the same location when some
+       dimension differs by a non-zero constant (e.g. the B(K,J) and
+       B(K+1,J) copies produced by unroll-and-jam). *)
+    let provably_distinct (a : Reference.t) (b : Reference.t) =
+      List.exists2
+        (fun sa sb ->
+          match (Affine.of_expr sa, Affine.of_expr sb) with
+          | Some aa, Some ab -> (
+            match Affine.is_const (Affine.sub aa ab) with
+            | Some d -> d <> 0
+            | None -> false)
+          | _, _ -> false)
+        a.Reference.subs b.Reference.subs
+    in
+    let candidates =
+      Hashtbl.fold
+        (fun key (r, w, _) acc ->
+          let safe =
+            match Hashtbl.find_opt arrays_refs r.Reference.array with
+            | Some l ->
+              List.for_all
+                (fun other_key ->
+                  other_key = key
+                  ||
+                  match Hashtbl.find_opt tbl other_key with
+                  | Some (r', _, _) -> provably_distinct r r'
+                  | None -> false)
+                !l
+            | None -> false
+          in
+          if invariant r && safe then (key, r, !w) :: acc else acc)
+        tbl []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    if candidates = [] then { nest; replaced = 0 }
+    else begin
+      let scalars =
+        List.mapi
+          (fun k (key, r, w) -> (key, (Printf.sprintf "%s%d" prefix k, r, w)))
+          candidates
+      in
+      (* Replace inside the inner body. *)
+      let replace_stmt (s : Stmt.t) =
+        let rec rx (e : Stmt.rexpr) =
+          match e with
+          | Stmt.Load r -> (
+            match List.assoc_opt (Reference.to_string r) scalars with
+            | Some (name, _, _) -> Stmt.Scalar name
+            | None -> e)
+          | Stmt.Const _ | Stmt.Scalar _ | Stmt.Iexpr _ -> e
+          | Stmt.Unop (op, a) -> Stmt.Unop (op, rx a)
+          | Stmt.Binop (op, a, b) -> Stmt.Binop (op, rx a, rx b)
+        in
+        let lhs =
+          match s.Stmt.lhs with
+          | Stmt.Store r -> (
+            match List.assoc_opt (Reference.to_string r) scalars with
+            | Some (name, _, _) -> Stmt.Scalar_set name
+            | None -> s.Stmt.lhs)
+          | l -> l
+        in
+        { s with Stmt.lhs; rhs = rx s.Stmt.rhs }
+      in
+      let inner' = Loop.map_statements replace_stmt inner in
+      let loads =
+        List.map
+          (fun (_, (name, r, _)) ->
+            Loop.Stmt (Stmt.scalar_assign ~label:(name ^ "_ld") name (Stmt.Load r)))
+          scalars
+      in
+      let stores =
+        List.filter_map
+          (fun (_, (name, r, w)) ->
+            if w then
+              Some
+                (Loop.Stmt
+                   (Stmt.assign ~label:(name ^ "_st") r (Stmt.Scalar name)))
+            else None)
+          scalars
+      in
+      (* Rebuild: loads ; inner' ; stores, inside the first outer loop. *)
+      let new_body = loads @ [ Loop.Loop inner' ] @ stores in
+      let rebuilt =
+        match outers with
+        | [] ->
+          (* The nest is a single loop: wrap at top by replacing its own
+             body? Hoisting outside a depth-1 nest would move the loads
+             out of all loops; keep them inside by giving up instead. *)
+          None
+        | parent :: rest ->
+          let with_parent = { parent with Loop.body = new_body } in
+          Some
+            (List.fold_left
+               (fun acc outer -> { outer with Loop.body = [ Loop.Loop acc ] })
+               with_parent rest)
+      in
+      match rebuilt with
+      | None -> { nest; replaced = 0 }
+      | Some n -> { nest = n; replaced = List.length candidates }
+    end
+  end

@@ -1,0 +1,24 @@
+(** Scalar replacement ([CCK90]) — the register half of the paper's
+    step 3.
+
+    References that are invariant with respect to the innermost loop stay
+    in a register for the whole inner sweep; replacing them with scalars
+    removes one memory access per iteration (and after unroll-and-jam,
+    the copies that differ only in the unrolled index become further
+    candidates). Like {!Tiling} and {!Unroll}, this is a lowering applied
+    after the compound algorithm has fixed the loop order. *)
+
+type result = {
+  nest : Loop.t;  (** with loads hoisted before / stores sunk after *)
+  replaced : int;  (** distinct references turned into scalars *)
+}
+
+val apply : ?prefix:string -> Loop.t -> result
+(** Replace, in the innermost loop of a perfect nest, every reference
+    that is invariant with respect to that loop and provably distinct
+    from every other reference to the same array in the loop body (equal
+    references share the scalar; references differing by a non-zero
+    constant in some dimension — unroll-and-jam's copies — cannot alias).
+    Written references are stored back after the loop. Scalars are named
+    [<prefix><k>] (default prefix ["t_sr"]). Imperfect nests are returned
+    unchanged. *)

@@ -1,0 +1,59 @@
+let skew (nest : Loop.t) ~outer ~inner ~factor =
+  let found_outer = ref false and found_inner = ref false in
+  let rec go (l : Loop.t) ~inside_outer : Loop.t =
+    let here = String.equal l.Loop.header.Loop.index outer in
+    if here then begin
+      if l.Loop.header.Loop.step <> 1 then
+        invalid_arg "Skewing.skew: outer loop has non-unit step";
+      found_outer := true
+    end;
+    let inside_outer = inside_outer || here in
+    if String.equal l.Loop.header.Loop.index inner then begin
+      if not inside_outer then
+        invalid_arg "Skewing.skew: inner loop is not nested inside outer";
+      if l.Loop.header.Loop.step <> 1 then
+        invalid_arg "Skewing.skew: inner loop has non-unit step";
+      found_inner := true;
+      let h = l.Loop.header in
+      let shift e =
+        Expr.simplify (Expr.Add (e, Expr.Mul (Int factor, Var outer)))
+      in
+      (* Occurrences of the old index become [inner - f*outer]. *)
+      let unshift = Expr.simplify (Expr.Sub (Var inner, Mul (Int factor, Var outer))) in
+      let rec subst_block (b : Loop.block) =
+        List.map
+          (function
+            | Loop.Stmt s -> Loop.Stmt (Stmt.subst_index s inner unshift)
+            | Loop.Loop deep ->
+              Loop.Loop
+                {
+                  Loop.header =
+                    {
+                      deep.Loop.header with
+                      Loop.lb = Expr.subst deep.Loop.header.Loop.lb inner unshift;
+                      ub = Expr.subst deep.Loop.header.Loop.ub inner unshift;
+                    };
+                  body = subst_block deep.Loop.body;
+                })
+          b
+      in
+      {
+        Loop.header = { h with Loop.lb = shift h.Loop.lb; ub = shift h.Loop.ub };
+        body = subst_block l.Loop.body;
+      }
+    end
+    else
+      {
+        l with
+        Loop.body =
+          List.map
+            (function
+              | Loop.Stmt s -> Loop.Stmt s
+              | Loop.Loop l' -> Loop.Loop (go l' ~inside_outer))
+            l.Loop.body;
+      }
+  in
+  let result = go nest ~inside_outer:false in
+  if not !found_outer then invalid_arg "Skewing.skew: outer loop not found";
+  if not !found_inner then invalid_arg "Skewing.skew: inner loop not found";
+  result

@@ -1,0 +1,18 @@
+(** Loop skewing.
+
+    Skewing remaps an inner loop's index by a multiple of an outer one
+    ([j' = j + f*i]), turning diagonal dependences into forward ones so
+    that a subsequent interchange becomes legal (wavefront execution).
+    It is always legal on its own (a unimodular remapping that preserves
+    lexicographic order).
+
+    The paper's system implemented skewing but, like Wolf and Lam, found
+    no program where it improved locality (Section 2); it is provided
+    here as the same optional facility and is not invoked by Compound. *)
+
+val skew : Loop.t -> outer:string -> inner:string -> factor:int -> Loop.t
+(** Skew [inner] by [factor * outer]: the inner loop's bounds become
+    [lb + f*outer .. ub + f*outer] and every use of the inner index in
+    subscripts and deeper bounds is replaced by [inner - f*outer].
+    @raise Invalid_argument if either loop is missing, [inner] is not
+    nested (possibly deeply) inside [outer], or steps are not 1. *)

@@ -1,0 +1,1 @@
+lib/dep/analysis.ml: Depend List Loop Reference Stmt String

@@ -1,0 +1,1 @@
+lib/dep/analysis.mli: Depend Loop Reference Stmt

@@ -1,0 +1,1 @@
+lib/dep/depend.ml: Affine Direction Expr Format List Loop Map Option Prove Reference Stmt String Subscript

@@ -1,0 +1,1 @@
+lib/dep/depend.mli: Direction Format Loop Reference Stmt

@@ -1,0 +1,1 @@
+lib/dep/direction.ml: Array Format List Option String

@@ -1,0 +1,1 @@
+lib/dep/direction.mli: Format

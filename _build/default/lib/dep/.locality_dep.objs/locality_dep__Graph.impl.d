@@ -1,0 +1,1 @@
+lib/dep/graph.ml: Array Buffer Depend Direction Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/dep/graph.mli: Depend

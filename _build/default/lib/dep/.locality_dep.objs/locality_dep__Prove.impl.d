@@ -1,0 +1,1 @@
+lib/dep/prove.ml: Affine Expr List Loop

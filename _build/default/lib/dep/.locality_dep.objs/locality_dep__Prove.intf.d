@@ -1,0 +1,1 @@
+lib/dep/prove.mli: Affine Expr Loop

@@ -1,0 +1,1 @@
+lib/dep/subscript.ml: Affine Direction Expr List String

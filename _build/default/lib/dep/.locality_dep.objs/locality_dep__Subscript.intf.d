@@ -1,0 +1,1 @@
+lib/dep/subscript.mli: Direction Expr

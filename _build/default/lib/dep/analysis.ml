@@ -1,0 +1,100 @@
+type access = {
+  stmt : Stmt.t;
+  ref_ : Reference.t;
+  acc : [ `Read | `Write ];
+  path : (int * Loop.header) list;
+  pos : int * int;
+}
+
+let scalar_ref name = Reference.make ("$" ^ name) []
+
+let accesses ?(outer = []) (block : Loop.block) =
+  let occ = ref 0 in
+  let spos = ref 0 in
+  let out = ref [] in
+  let outer_path =
+    List.map
+      (fun h ->
+        incr occ;
+        (!occ, h))
+      outer
+  in
+  let emit stmt path =
+    let p = !spos in
+    incr spos;
+    let reads =
+      List.map (fun r -> (r, `Read, 0)) (Stmt.reads stmt)
+      @ List.map (fun x -> (scalar_ref x, `Read, 0)) (Stmt.scalars_read stmt)
+    in
+    let writes =
+      List.map (fun r -> (r, `Write, 1)) (Stmt.writes stmt)
+      @ List.map
+          (fun x -> (scalar_ref x, `Write, 1))
+          (Stmt.scalars_written stmt)
+    in
+    List.iter
+      (fun (ref_, acc, sub) ->
+        out := { stmt; ref_; acc; path; pos = (p, sub) } :: !out)
+      (reads @ writes)
+  in
+  let rec go_block path b =
+    List.iter
+      (fun node ->
+        match node with
+        | Loop.Stmt s -> emit s path
+        | Loop.Loop l ->
+          incr occ;
+          go_block (path @ [ (!occ, l.header) ]) l.body)
+      b
+  in
+  go_block outer_path block;
+  List.rev !out
+
+let common_prefix p1 p2 =
+  let rec go p1 p2 =
+    match (p1, p2) with
+    | (id1, h1) :: r1, (id2, _) :: r2 when id1 = id2 -> h1 :: go r1 r2
+    | _, _ -> []
+  in
+  go p1 p2
+
+let pair_deps a b =
+  let src, snk = if a.pos <= b.pos then (a, b) else (b, a) in
+  let ncommon = List.length (common_prefix src.path snk.path) in
+  Depend.test_pair
+    ~src_path:(List.map snd src.path)
+    ~snk_path:(List.map snd snk.path)
+    ~ncommon
+    ~src:(src.stmt, src.ref_, src.acc)
+    ~snk:(snk.stmt, snk.ref_, snk.acc)
+
+let deps ?(include_input = false) ?outer block =
+  let accs = accesses ?outer block in
+  let rec pairs acc = function
+    | [] -> acc
+    | a :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc b ->
+            if not (String.equal a.ref_.Reference.array b.ref_.Reference.array)
+            then acc
+            else if
+              a.acc = `Read && b.acc = `Read && not include_input
+            then acc
+            else List.rev_append (pair_deps a b) acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  let self_deps =
+    List.filter_map
+      (fun a ->
+        if a.acc = `Write then
+          Depend.test_self ~path:(List.map snd a.path) (a.stmt, a.ref_)
+        else None)
+      accs
+  in
+  self_deps @ List.rev (pairs [] accs)
+
+let deps_in_nest ?include_input (l : Loop.t) =
+  deps ?include_input [ Loop.Loop l ]

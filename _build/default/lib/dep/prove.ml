@@ -1,0 +1,40 @@
+type bounds = (string * Expr.t option * Expr.t option) list
+
+let of_headers headers =
+  List.rev_map
+    (fun (h : Loop.header) ->
+      if h.Loop.step >= 0 then (h.Loop.index, Some h.Loop.lb, Some h.Loop.ub)
+      else (h.Loop.index, Some h.Loop.ub, Some h.Loop.lb))
+    headers
+
+(* Prove [d >= threshold] by replacing each index with the bound that
+   minimises [d], then requiring the parameter-only remainder to be at
+   least [threshold] with non-negative parameter coefficients. *)
+let prove_lower order threshold (d : Affine.t) =
+  let rec eliminate d = function
+    | [] -> Some d
+    | (x, lo, hi) :: rest -> (
+      let c = Affine.coeff d x in
+      if c = 0 then eliminate d rest
+      else
+        let bound = if c > 0 then lo else hi in
+        match bound with
+        | None -> None
+        | Some e -> (
+          match Affine.of_expr e with
+          | None -> None
+          | Some b -> eliminate (Affine.subst d x b) rest))
+  in
+  match eliminate d order with
+  | None -> false
+  | Some d ->
+    let params = Affine.vars d in
+    List.for_all (fun p -> Affine.coeff d p >= 0) params
+    && List.fold_left (fun acc p -> acc + Affine.coeff d p) (Affine.const d) params
+       >= threshold
+
+let neg_affine a = Affine.sub (Affine.of_const 0) a
+let nonneg order d = prove_lower order 0 d
+let positive order d = prove_lower order 1 d
+let negative order d = prove_lower order 1 (neg_affine d)
+let nonzero order d = positive order d || negative order d

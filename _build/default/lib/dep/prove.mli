@@ -1,0 +1,22 @@
+(** A small interval prover for affine facts over loop indices and
+    symbolic size parameters.
+
+    Variables are eliminated innermost-first using their loop bounds;
+    whatever remains is affine over parameters, which are assumed to be
+    at least 1 (array extents and trip counts). Sound but incomplete:
+    [false] means "could not prove". *)
+
+type bounds = (string * Expr.t option * Expr.t option) list
+(** [(index, lb, ub)] innermost-first; [None] marks an unusable bound. *)
+
+val of_headers : Loop.header list -> bounds
+(** Bounds list for a path of headers given outermost-first. *)
+
+val nonneg : bounds -> Affine.t -> bool
+(** Provably [>= 0] over the whole iteration space. *)
+
+val positive : bounds -> Affine.t -> bool
+(** Provably [>= 1]. *)
+
+val negative : bounds -> Affine.t -> bool
+val nonzero : bounds -> Affine.t -> bool

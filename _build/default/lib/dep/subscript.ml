@@ -1,0 +1,102 @@
+type outcome =
+  | Independent
+  | Constraints of (string * Direction.elt) list
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let test ~step_of ~trip_of ~bounds_of ~common ~src ~snk =
+  match (Affine.of_expr src, Affine.of_expr snk) with
+  | None, _ | _, None ->
+    (* Non-affine: every common loop it might mention is unknown. *)
+    let mentioned e = List.filter (fun x -> List.mem x (Expr.vars e)) common in
+    let loops =
+      List.sort_uniq String.compare (mentioned src @ mentioned snk)
+    in
+    let loops = if loops = [] then common else loops in
+    Constraints (List.map (fun x -> (x, Direction.Star)) loops)
+  | Some a1, Some a2 ->
+    let c1 x = Affine.coeff a1 x and c2 x = Affine.coeff a2 x in
+    let involved = List.filter (fun x -> c1 x <> 0 || c2 x <> 0) common in
+    (* Symbolic difference of the non-index parts: constants plus any
+       parameter terms that do not cancel. *)
+    let strip_common a =
+      List.fold_left (fun a x -> Affine.subst a x (Affine.of_const 0)) a common
+    in
+    let k = Affine.sub (strip_common a1) (strip_common a2) in
+    let star_all () =
+      Constraints (List.map (fun x -> (x, Direction.Star)) involved)
+    in
+    (match (involved, Affine.is_const k) with
+    | [], Some 0 -> Constraints []
+    | [], Some _ -> Independent
+    | [], None -> Constraints [] (* symbolic ZIV: cannot conclude *)
+    | [ x ], kc -> (
+      let a = c1 x and b = c2 x in
+      if a = b then
+        (* Strong SIV: a*(x' - x) = k, index distance k/a; only index
+           distances that are multiples of the loop step correspond to
+           iterations. *)
+        match kc with
+        | None -> Constraints [ (x, Direction.Star) ]
+        | Some kv ->
+          if kv mod a <> 0 then Independent
+          else
+            let d_index = kv / a in
+            let step = step_of x in
+            if step = 0 || d_index mod step <> 0 then Independent
+            else
+              let d = d_index / step in
+              let out_of_range =
+                match trip_of x with Some t -> abs d >= t | None -> false
+              in
+              if out_of_range then Independent
+              else Constraints [ (x, Direction.Dist d) ]
+      else if b = 0 then
+        (* Weak-zero SIV, sink invariant: a*x = -k must have a solution. *)
+        match kc with
+        | None -> Constraints [ (x, Direction.Star) ]
+        | Some kv ->
+          if -kv mod a <> 0 then Independent
+          else
+            let x0 = -kv / a in
+            let in_bounds =
+              match bounds_of x with
+              | Some (lo, hi) -> x0 >= lo && x0 <= hi
+              | None -> true
+            in
+            if in_bounds then Constraints [ (x, Direction.Star) ]
+            else Independent
+      else if a = 0 then
+        (* Weak-zero SIV, source invariant. *)
+        match kc with
+        | None -> Constraints [ (x, Direction.Star) ]
+        | Some kv ->
+          if kv mod b <> 0 then Independent
+          else
+            let x0 = kv / b in
+            let in_bounds =
+              match bounds_of x with
+              | Some (lo, hi) -> x0 >= lo && x0 <= hi
+              | None -> true
+            in
+            if in_bounds then Constraints [ (x, Direction.Star) ]
+            else Independent
+      else
+        (* Weak-crossing and general weak SIV: a*x - b*x' = -k. *)
+        match kc with
+        | None -> Constraints [ (x, Direction.Star) ]
+        | Some kv ->
+          let g = gcd a b in
+          if g <> 0 && -kv mod g <> 0 then Independent
+          else Constraints [ (x, Direction.Star) ])
+    | _ :: _ :: _, kc -> (
+      (* MIV: GCD test over all index coefficients. *)
+      match kc with
+      | None -> star_all ()
+      | Some kv ->
+        let g =
+          List.fold_left
+            (fun g x -> gcd (gcd g (c1 x)) (c2 x))
+            0 involved
+        in
+        if g <> 0 && kv mod g <> 0 then Independent else star_all ()))

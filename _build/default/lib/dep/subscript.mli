@@ -1,0 +1,31 @@
+(** Per-dimension subscript dependence tests (ZIV, strong SIV, weak-zero
+    and weak-crossing SIV, and the GCD test for MIV subscripts).
+
+    A test examines one subscript dimension of a source/sink reference
+    pair and yields either a proof of independence, a set of per-loop
+    constraints on the hybrid distance/direction vector, or nothing. *)
+
+type outcome =
+  | Independent  (** this dimension can never be equal: no dependence *)
+  | Constraints of (string * Direction.elt) list
+      (** refinements per loop index; loops mentioned by the dimension but
+          not constrained further appear with [Star] *)
+
+val test :
+  step_of:(string -> int) ->
+  trip_of:(string -> int option) ->
+  bounds_of:(string -> (int * int) option) ->
+  common:string list ->
+  src:Expr.t ->
+  snk:Expr.t ->
+  outcome
+(** [test ~trip_of ~bounds_of ~common ~src ~snk] analyses one dimension.
+    [common] lists the loop indices shared by source and sink statements;
+    occurrences of these variables in [snk] denote the sink iteration.
+    [trip_of]/[bounds_of] give constant trip counts and bounds when known,
+    for distance range checks. [step_of] converts
+    index distances into iteration distances: a strong-SIV index distance
+    that is not a multiple of the loop step proves independence, and the
+    reported distance is in iterations (signed by the step). Non-affine subscripts yield [Star]
+    constraints on every common loop mentioned (or on all common loops
+    when the mention set is unknown). *)

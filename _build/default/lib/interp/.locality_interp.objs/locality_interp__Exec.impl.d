@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Array Char Decl Expr Float Hashtbl List Locality_cachesim Loop Printf Program Reference Stmt String

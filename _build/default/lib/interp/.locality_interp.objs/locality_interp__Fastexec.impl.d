@@ -1,0 +1,1 @@
+lib/interp/fastexec.ml: Array Decl Exec Expr Float Hashtbl List Locality_cachesim Loop Printf Program Reference Stmt

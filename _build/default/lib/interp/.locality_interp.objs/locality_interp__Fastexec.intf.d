@@ -1,0 +1,1 @@
+lib/interp/fastexec.mli: Exec Program

@@ -1,0 +1,1 @@
+lib/interp/measure.ml: Exec Fastexec Hashtbl List Locality_cachesim Program

@@ -1,0 +1,1 @@
+lib/interp/measure.mli: Locality_cachesim Program

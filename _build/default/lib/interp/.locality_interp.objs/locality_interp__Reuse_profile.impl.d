@@ -1,0 +1,1 @@
+lib/interp/reuse_profile.ml: Exec Fastexec Locality_cachesim Program

@@ -1,0 +1,1 @@
+lib/interp/reuse_profile.mli: Locality_cachesim Program

@@ -1,0 +1,194 @@
+module Layout = Locality_cachesim.Layout
+
+type observer = {
+  on_access : label:string -> addr:int -> write:bool -> unit;
+  on_stmt : label:string -> unit;
+}
+
+let null_observer =
+  { on_access = (fun ~label:_ ~addr:_ ~write:_ -> ()); on_stmt = (fun ~label:_ -> ()) }
+
+type result = {
+  arrays : (string * float array) list;
+  ops : int;
+  accesses : int;
+  iterations : int;
+}
+
+(* SplitMix-style hash keeps initial contents deterministic and spread;
+   every step is masked to 30 bits so the C driver emitted by
+   [Pretty_c] computes bit-identical values. *)
+let name_hash name =
+  String.fold_left
+    (fun h c -> ((h * 223) + Char.code c) land 0x3fffffff)
+    0 name
+
+let default_init name i =
+  let h = ref ((name_hash name + (i * 0x9e3779b9)) land 0x3fffffff) in
+  h := (!h lxor (!h lsr 16)) * 0x45d9f3b land 0x3fffffff;
+  h := (!h lxor (!h lsr 13)) * 0xc2b2ae35 land 0x3fffffff;
+  1.0 +. (float_of_int (!h land 0xffff) /. 65536.0)
+
+type state = {
+  layout : Layout.t;
+  data : (string, float array) Hashtbl.t;
+  ints : (string, int) Hashtbl.t;  (** loop indices and parameters *)
+  scalars : (string, float) Hashtbl.t;
+  observer : observer;
+  mutable ops : int;
+  mutable accesses : int;
+  mutable iterations : int;
+}
+
+let int_env st x =
+  match Hashtbl.find_opt st.ints x with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Exec: unbound variable %s" x)
+
+let eval_subs st (r : Reference.t) =
+  Array.of_list (List.map (fun e -> Expr.eval e (int_env st)) r.Reference.subs)
+
+let read_elem st ~label (r : Reference.t) =
+  let subs = eval_subs st r in
+  let off = Layout.flat_offset st.layout r.Reference.array subs in
+  let addr = Layout.address st.layout r.Reference.array subs in
+  st.accesses <- st.accesses + 1;
+  st.observer.on_access ~label ~addr ~write:false;
+  (Hashtbl.find st.data r.Reference.array).(off)
+
+let write_elem st ~label (r : Reference.t) v =
+  let subs = eval_subs st r in
+  let off = Layout.flat_offset st.layout r.Reference.array subs in
+  let addr = Layout.address st.layout r.Reference.array subs in
+  st.accesses <- st.accesses + 1;
+  st.observer.on_access ~label ~addr ~write:true;
+  (Hashtbl.find st.data r.Reference.array).(off) <- v
+
+let rec eval_rexpr st ~label (e : Stmt.rexpr) =
+  match e with
+  | Stmt.Const c -> c
+  | Stmt.Scalar x -> (
+    match Hashtbl.find_opt st.scalars x with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Exec: unset scalar %s" x))
+  | Stmt.Iexpr e -> float_of_int (Expr.eval e (int_env st))
+  | Stmt.Load r -> read_elem st ~label r
+  | Stmt.Unop (op, a) ->
+    let va = eval_rexpr st ~label a in
+    st.ops <- st.ops + 1;
+    (match op with
+    | Stmt.Fneg -> -.va
+    | Stmt.Sqrt -> Float.sqrt (Float.abs va)
+    | Stmt.Abs -> Float.abs va
+    | Stmt.Exp -> Float.exp va
+    | Stmt.Sin -> Float.sin va
+    | Stmt.Cos -> Float.cos va)
+  | Stmt.Binop (op, a, b) ->
+    let va = eval_rexpr st ~label a in
+    let vb = eval_rexpr st ~label b in
+    st.ops <- st.ops + 1;
+    (match op with
+    | Stmt.Fadd -> va +. vb
+    | Stmt.Fsub -> va -. vb
+    | Stmt.Fmul -> va *. vb
+    | Stmt.Fdiv -> va /. vb
+    | Stmt.Fmin -> Float.min va vb
+    | Stmt.Fmax -> Float.max va vb)
+
+let exec_stmt st (s : Stmt.t) =
+  let label = s.Stmt.label in
+  st.iterations <- st.iterations + 1;
+  st.observer.on_stmt ~label;
+  let v = eval_rexpr st ~label s.Stmt.rhs in
+  match s.Stmt.lhs with
+  | Stmt.Store r -> write_elem st ~label r v
+  | Stmt.Scalar_set x -> Hashtbl.replace st.scalars x v
+
+let rec exec_block st (b : Loop.block) =
+  List.iter
+    (function
+      | Loop.Stmt s -> exec_stmt st s
+      | Loop.Loop l -> exec_loop st l)
+    b
+
+and exec_loop st (l : Loop.t) =
+  let h = l.Loop.header in
+  let lb = Expr.eval h.Loop.lb (int_env st) in
+  let ub = Expr.eval h.Loop.ub (int_env st) in
+  let step = h.Loop.step in
+  let i = ref lb in
+  while (if step > 0 then !i <= ub else !i >= ub) do
+    Hashtbl.replace st.ints h.Loop.index !i;
+    exec_block st l.Loop.body;
+    i := !i + step
+  done;
+  Hashtbl.remove st.ints h.Loop.index
+
+let run ?(observer = null_observer) ?(init = default_init) ?params
+    (p : Program.t) =
+  let params =
+    match params with
+    | Some overrides ->
+      List.map
+        (fun (x, d) ->
+          match List.assoc_opt x overrides with
+          | Some v -> (x, v)
+          | None -> (x, d))
+        p.Program.params
+    | None -> p.Program.params
+  in
+  let ints = Hashtbl.create 16 in
+  List.iter (fun (x, v) -> Hashtbl.replace ints x v) params;
+  let param x =
+    match Hashtbl.find_opt ints x with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Exec: unbound parameter %s" x)
+  in
+  let layout = Layout.build ~param p.Program.decls in
+  let data = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Decl.t) ->
+      let n = Layout.size_elements layout d.Decl.name in
+      Hashtbl.replace data d.Decl.name
+        (Array.init n (init d.Decl.name)))
+    p.Program.decls;
+  let st =
+    {
+      layout;
+      data;
+      ints;
+      scalars = Hashtbl.create 16;
+      observer;
+      ops = 0;
+      accesses = 0;
+      iterations = 0;
+    }
+  in
+  exec_block st p.Program.body;
+  {
+    arrays =
+      List.map
+        (fun (d : Decl.t) -> (d.Decl.name, Hashtbl.find data d.Decl.name))
+        p.Program.decls;
+    ops = st.ops;
+    accesses = st.accesses;
+    iterations = st.iterations;
+  }
+
+let equivalent ?(tol = 1e-9) ?params p1 p2 =
+  let r1 = run ?params p1 and r2 = run ?params p2 in
+  List.length r1.arrays = List.length r2.arrays
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) ->
+         String.equal n1 n2
+         && Array.length a1 = Array.length a2
+         &&
+         let ok = ref true in
+         Array.iteri
+           (fun i x ->
+             let y = a2.(i) in
+             let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+             if Float.abs (x -. y) > tol *. scale then ok := false)
+           a1;
+         !ok)
+       r1.arrays r2.arrays

@@ -1,0 +1,260 @@
+module Layout = Locality_cachesim.Layout
+
+type result = {
+  arrays : (string * float array) list;
+  ops : int;
+  accesses : int;
+  iterations : int;
+}
+
+type ctx = {
+  ienv : int array;  (** loop indices and parameters by slot *)
+  scalars : float array;
+  mutable ops : int;
+  mutable accesses : int;
+  mutable iterations : int;
+}
+
+(* Slot allocation for integer variables (params + indices) and scalars. *)
+type slots = {
+  mutable names : string list;
+  tbl : (string, int) Hashtbl.t;
+}
+
+let new_slots () = { names = []; tbl = Hashtbl.create 16 }
+
+let slot_of s name =
+  match Hashtbl.find_opt s.tbl name with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length s.tbl in
+    Hashtbl.replace s.tbl name i;
+    s.names <- s.names @ [ name ];
+    i
+
+let rec compile_expr slots (e : Expr.t) : ctx -> int =
+  match e with
+  | Expr.Int n -> fun _ -> n
+  | Expr.Var x ->
+    let i = slot_of slots x in
+    fun c -> c.ienv.(i)
+  | Expr.Neg a ->
+    let fa = compile_expr slots a in
+    fun c -> -fa c
+  | Expr.Add (a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    fun c -> fa c + fb c
+  | Expr.Sub (a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    fun c -> fa c - fb c
+  | Expr.Mul (a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    fun c -> fa c * fb c
+  | Expr.Min (a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    fun c -> min (fa c) (fb c)
+  | Expr.Max (a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    fun c -> max (fa c) (fb c)
+  | Expr.Div (a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    fun c ->
+      let d = fb c in
+      if d = 0 then invalid_arg "Fastexec: division by zero" else fa c / d
+
+let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
+    (p : Program.t) =
+  let params =
+    match params with
+    | Some overrides ->
+      List.map
+        (fun (x, d) ->
+          match List.assoc_opt x overrides with
+          | Some v -> (x, v)
+          | None -> (x, d))
+        p.Program.params
+    | None -> p.Program.params
+  in
+  let param x =
+    match List.assoc_opt x params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Fastexec: unbound parameter %s" x)
+  in
+  let layout = Layout.build ~param p.Program.decls in
+  let data = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Decl.t) ->
+      let n = Layout.size_elements layout d.Decl.name in
+      Hashtbl.replace data d.Decl.name (Array.init n (init d.Decl.name)))
+    p.Program.decls;
+  let slots = new_slots () in
+  let sslots = new_slots () in
+  List.iter (fun (x, _) -> ignore (slot_of slots x)) params;
+  (* Per-array strides (column-major) and base addresses. *)
+  let strides = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Decl.t) ->
+      let exts = List.map (fun e -> Expr.eval e param) d.Decl.extents in
+      let n = List.length exts in
+      let s = Array.make n 1 in
+      List.iteri (fun k e -> if k < n - 1 then s.(k + 1) <- s.(k) * e) exts;
+      let base = Layout.address layout d.Decl.name (Array.make n 1) in
+      let elem = Layout.elem_size layout d.Decl.name in
+      Hashtbl.replace strides d.Decl.name (s, base, elem))
+    p.Program.decls;
+  let has_observer = observer != Exec.null_observer in
+  (* Compile a reference into an (offset, address) pair of closures. *)
+  let compile_access (r : Reference.t) =
+    let arr = Hashtbl.find data r.Reference.array in
+    let s, base, elem = Hashtbl.find strides r.Reference.array in
+    let subs = Array.of_list (List.map (compile_expr slots) r.Reference.subs) in
+    let n = Array.length subs in
+    let offset c =
+      let off = ref 0 in
+      for k = 0 to n - 1 do
+        off := !off + ((subs.(k) c - 1) * s.(k))
+      done;
+      !off
+    in
+    (arr, offset, base, elem)
+  in
+  let rec compile_rexpr label (e : Stmt.rexpr) : ctx -> float =
+    match e with
+    | Stmt.Const v -> fun _ -> v
+    | Stmt.Scalar x ->
+      let i = slot_of sslots x in
+      fun c -> c.scalars.(i)
+    | Stmt.Iexpr ie ->
+      let f = compile_expr slots ie in
+      fun c -> float_of_int (f c)
+    | Stmt.Load r ->
+      let arr, offset, base, elem = compile_access r in
+      if has_observer then (fun c ->
+        let off = offset c in
+        c.accesses <- c.accesses + 1;
+        observer.Exec.on_access ~label ~addr:(base + (off * elem)) ~write:false;
+        Array.get arr off)
+      else fun c ->
+        c.accesses <- c.accesses + 1;
+        Array.get arr (offset c)
+    | Stmt.Unop (op, a) ->
+      let fa = compile_rexpr label a in
+      let g =
+        match op with
+        | Stmt.Fneg -> Float.neg
+        | Stmt.Sqrt -> fun v -> Float.sqrt (Float.abs v)
+        | Stmt.Abs -> Float.abs
+        | Stmt.Exp -> Float.exp
+        | Stmt.Sin -> Float.sin
+        | Stmt.Cos -> Float.cos
+      in
+      fun c ->
+        let v = fa c in
+        c.ops <- c.ops + 1;
+        g v
+    | Stmt.Binop (op, a, b) ->
+      let fa = compile_rexpr label a and fb = compile_rexpr label b in
+      let g =
+        match op with
+        | Stmt.Fadd -> ( +. )
+        | Stmt.Fsub -> ( -. )
+        | Stmt.Fmul -> ( *. )
+        | Stmt.Fdiv -> ( /. )
+        | Stmt.Fmin -> Float.min
+        | Stmt.Fmax -> Float.max
+      in
+      fun c ->
+        let va = fa c in
+        let vb = fb c in
+        c.ops <- c.ops + 1;
+        g va vb
+  in
+  let compile_stmt (st : Stmt.t) : ctx -> unit =
+    let label = st.Stmt.label in
+    let rhs = compile_rexpr label st.Stmt.rhs in
+    match st.Stmt.lhs with
+    | Stmt.Store r ->
+      let arr, offset, base, elem = compile_access r in
+      if has_observer then (fun c ->
+        c.iterations <- c.iterations + 1;
+        observer.Exec.on_stmt ~label;
+        let v = rhs c in
+        let off = offset c in
+        c.accesses <- c.accesses + 1;
+        observer.Exec.on_access ~label ~addr:(base + (off * elem)) ~write:true;
+        Array.set arr off v)
+      else fun c ->
+        c.iterations <- c.iterations + 1;
+        let v = rhs c in
+        c.accesses <- c.accesses + 1;
+        Array.set arr (offset c) v
+    | Stmt.Scalar_set x ->
+      let i = slot_of sslots x in
+      if has_observer then (fun c ->
+        c.iterations <- c.iterations + 1;
+        observer.Exec.on_stmt ~label;
+        c.scalars.(i) <- rhs c)
+      else fun c ->
+        c.iterations <- c.iterations + 1;
+        c.scalars.(i) <- rhs c
+  in
+  let rec compile_block (b : Loop.block) : ctx -> unit =
+    let fns =
+      List.map
+        (function
+          | Loop.Stmt st -> compile_stmt st
+          | Loop.Loop l -> compile_loop l)
+        b
+    in
+    match fns with
+    | [ f ] -> f
+    | [ f; g ] -> fun c -> f c; g c
+    | fns -> fun c -> List.iter (fun f -> f c) fns
+  and compile_loop (l : Loop.t) : ctx -> unit =
+    let h = l.Loop.header in
+    let islot = slot_of slots h.Loop.index in
+    let flb = compile_expr slots h.Loop.lb in
+    let fub = compile_expr slots h.Loop.ub in
+    let step = h.Loop.step in
+    let body = compile_block l.Loop.body in
+    if step > 0 then (fun c ->
+      let ub = fub c in
+      let i = ref (flb c) in
+      while !i <= ub do
+        c.ienv.(islot) <- !i;
+        body c;
+        i := !i + step
+      done)
+    else fun c ->
+      let ub = fub c in
+      let i = ref (flb c) in
+      while !i >= ub do
+        c.ienv.(islot) <- !i;
+        body c;
+        i := !i + step
+      done
+  in
+  let main = compile_block p.Program.body in
+  (* Bound the slot count: compile touched every variable. *)
+  let nints = max 1 (Hashtbl.length slots.tbl) in
+  let nscal = max 1 (Hashtbl.length sslots.tbl) in
+  let ctx =
+    {
+      ienv = Array.make nints 0;
+      scalars = Array.make nscal 0.0;
+      ops = 0;
+      accesses = 0;
+      iterations = 0;
+    }
+  in
+  List.iter (fun (x, v) -> ctx.ienv.(Hashtbl.find slots.tbl x) <- v) params;
+  main ctx;
+  {
+    arrays =
+      List.map
+        (fun (d : Decl.t) -> (d.Decl.name, Hashtbl.find data d.Decl.name))
+        p.Program.decls;
+    ops = ctx.ops;
+    accesses = ctx.accesses;
+    iterations = ctx.iterations;
+  }

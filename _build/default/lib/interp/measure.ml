@@ -1,0 +1,91 @@
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+
+type region = {
+  accesses : int;
+  hits : int;
+  cold : int;
+}
+
+type run = {
+  whole : region;
+  optimized : region;
+  ops : int;
+  cycles : float;
+  seconds : float;
+}
+
+let hit_rate ?(exclude_cold = true) r =
+  let denom = if exclude_cold then r.accesses - r.cold else r.accesses in
+  if denom <= 0 then 100.0 else 100.0 *. float_of_int r.hits /. float_of_int denom
+
+let measure ?(config = Machine.cache1) ?(timing = Machine.default_timing)
+    ?(optimized_labels = []) ?params (p : Program.t) =
+  let cache = Cache.create config in
+  let opt = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace opt l ()) optimized_labels;
+  let w_acc = ref 0 and w_hit = ref 0 and w_cold = ref 0 in
+  let o_acc = ref 0 and o_hit = ref 0 and o_cold = ref 0 in
+  let observer =
+    {
+      Exec.on_access =
+        (fun ~label ~addr ~write:_ ->
+          let cls = Cache.access_classified cache addr in
+          let in_opt = Hashtbl.mem opt label in
+          incr w_acc;
+          if in_opt then incr o_acc;
+          (match cls with
+          | `Hit ->
+            incr w_hit;
+            if in_opt then incr o_hit
+          | `Cold ->
+            incr w_cold;
+            if in_opt then incr o_cold
+          | `Miss -> ()));
+      on_stmt = (fun ~label:_ -> ());
+    }
+  in
+  let res = Fastexec.run ~observer ?params p in
+  let whole = { accesses = !w_acc; hits = !w_hit; cold = !w_cold } in
+  let optimized = { accesses = !o_acc; hits = !o_hit; cold = !o_cold } in
+  let misses = whole.accesses - whole.hits in
+  let ops = res.Fastexec.ops in
+  let cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses in
+  {
+    whole;
+    optimized;
+    ops;
+    cycles;
+    seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
+  }
+
+type hier_run = {
+  l1_rate : float;
+  l2_rate : float;
+  amat : float;
+  hier_writebacks : int;
+}
+
+let measure_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) ?params
+    (p : Program.t) =
+  let module H = Locality_cachesim.Hierarchy in
+  let h = H.create ~l1 ~l2 in
+  let observer =
+    {
+      Exec.on_access =
+        (fun ~label:_ ~addr ~write -> ignore (H.access h ~write addr));
+      on_stmt = (fun ~label:_ -> ());
+    }
+  in
+  ignore (Fastexec.run ~observer ?params p);
+  {
+    l1_rate = Cache.hit_rate (H.l1_stats h);
+    l2_rate = Cache.hit_rate (H.l2_stats h);
+    amat = H.amat h;
+    hier_writebacks = H.writebacks h;
+  }
+
+let speedup ?config ?timing ?params original transformed =
+  let r1 = measure ?config ?timing ?params original in
+  let r2 = measure ?config ?timing ?params transformed in
+  (r1.cycles /. r2.cycles, r1, r2)

@@ -1,0 +1,59 @@
+(** Measurement harness: execute a program with its address trace feeding
+    a simulated cache, with statistics split between the statements the
+    optimizer touched and the whole program — the methodology behind
+    Tables 1, 3 and 4. *)
+
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+
+type region = {
+  accesses : int;
+  hits : int;
+  cold : int;
+}
+
+type run = {
+  whole : region;
+  optimized : region;  (** accesses issued by the given statement labels *)
+  ops : int;
+  cycles : float;
+  seconds : float;
+}
+
+val hit_rate : ?exclude_cold:bool -> region -> float
+(** In percent; cold misses excluded from the denominator by default, as
+    in Table 4. 100.0 when no qualifying accesses. *)
+
+val measure :
+  ?config:Cache.config ->
+  ?timing:Machine.timing ->
+  ?optimized_labels:string list ->
+  ?params:(string * int) list ->
+  Program.t ->
+  run
+
+type hier_run = {
+  l1_rate : float;  (** L1 hit rate, percent, cold excluded *)
+  l2_rate : float;  (** L2 hit rate among L1 misses, percent, cold excluded *)
+  amat : float;  (** average memory access time, cycles *)
+  hier_writebacks : int;
+}
+
+val measure_hierarchy :
+  ?l1:Cache.config ->
+  ?l2:Cache.config ->
+  ?params:(string * int) list ->
+  Program.t ->
+  hier_run
+(** Run the program against a two-level write-back hierarchy (defaults:
+    L1 = cache2's 8 KB geometry, L2 = cache1's 64 KB geometry). *)
+
+val speedup :
+  ?config:Cache.config ->
+  ?timing:Machine.timing ->
+  ?params:(string * int) list ->
+  Program.t ->
+  Program.t ->
+  float * run * run
+(** [speedup original transformed] is the ratio of modelled execution
+    times, original over transformed, with both runs. *)

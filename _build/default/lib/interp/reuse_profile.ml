@@ -1,0 +1,12 @@
+module Reuse = Locality_cachesim.Reuse
+
+let profile ?(line_bytes = 32) ?params (p : Program.t) =
+  let tracker = Reuse.create ~line_bytes () in
+  let observer =
+    {
+      Exec.on_access = (fun ~label:_ ~addr ~write:_ -> Reuse.access tracker addr);
+      on_stmt = (fun ~label:_ -> ());
+    }
+  in
+  ignore (Fastexec.run ~observer ?params p);
+  tracker

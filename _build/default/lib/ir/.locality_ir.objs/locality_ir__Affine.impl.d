@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Expr Hashtbl Int List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Decl Expr List Loop Printf Program Reference Stmt

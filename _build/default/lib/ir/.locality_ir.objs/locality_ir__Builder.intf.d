@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Expr Loop Program Reference Stmt

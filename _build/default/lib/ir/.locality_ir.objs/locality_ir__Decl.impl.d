@@ -1,0 +1,1 @@
+lib/ir/decl.ml: Expr Format List String

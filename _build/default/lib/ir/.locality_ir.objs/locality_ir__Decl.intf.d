@@ -1,0 +1,1 @@
+lib/ir/decl.mli: Expr Format

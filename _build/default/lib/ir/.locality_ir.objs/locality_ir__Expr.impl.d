@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Format Poly Rat Set Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/expr.mli: Format Poly

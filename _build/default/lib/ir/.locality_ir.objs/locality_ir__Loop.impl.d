@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Expr List Option Poly Rat Reference Set Stmt String

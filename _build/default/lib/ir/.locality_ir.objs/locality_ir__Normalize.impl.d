@@ -1,0 +1,1 @@
+lib/ir/normalize.ml: Expr List Loop Program Reference Stmt String

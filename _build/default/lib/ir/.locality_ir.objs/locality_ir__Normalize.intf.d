@@ -1,0 +1,1 @@
+lib/ir/normalize.mli: Program

@@ -1,0 +1,1 @@
+lib/ir/poly.ml: Format Int List Map Rat Set String

@@ -1,0 +1,1 @@
+lib/ir/poly.mli: Format Rat

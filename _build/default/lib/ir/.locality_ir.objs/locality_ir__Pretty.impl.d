@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Decl Expr Format List Loop Program Stmt

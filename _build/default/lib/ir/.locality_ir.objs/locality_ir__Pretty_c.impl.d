@@ -1,0 +1,1 @@
+lib/ir/pretty_c.ml: Buffer Decl Expr Format List Loop Printf Program Reference Set Stmt String

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Decl List Loop Printf Reference Result Stmt String

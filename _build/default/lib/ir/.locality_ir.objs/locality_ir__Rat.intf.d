@@ -1,0 +1,1 @@
+lib/ir/rat.mli: Format

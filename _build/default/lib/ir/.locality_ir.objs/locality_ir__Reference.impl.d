@@ -1,0 +1,1 @@
+lib/ir/reference.ml: Affine Expr Format List Set String

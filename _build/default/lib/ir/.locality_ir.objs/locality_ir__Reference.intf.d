@@ -1,0 +1,1 @@
+lib/ir/reference.mli: Affine Expr Format

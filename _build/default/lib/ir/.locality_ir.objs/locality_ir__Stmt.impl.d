@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Expr Float Format List Printf Reference String

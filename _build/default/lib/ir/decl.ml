@@ -1,0 +1,8 @@
+type t = { name : string; extents : Expr.t list; elem_size : int }
+
+let make ?(elem_size = 8) name extents = { name; extents; elem_size }
+let rank d = List.length d.extents
+
+let pp ppf d =
+  Format.fprintf ppf "%s(%s)" d.name
+    (String.concat ", " (List.map Expr.to_string d.extents))

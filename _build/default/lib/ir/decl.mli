@@ -1,0 +1,15 @@
+(** Array declarations.
+
+    Arrays are stored column-major (Fortran layout): the {e first}
+    subscript varies fastest in memory, which is why unit-stride access in
+    the first dimension is the common source of spatial locality. *)
+
+type t = {
+  name : string;
+  extents : Expr.t list;  (** Extent of each dimension, outer list order = subscript order. *)
+  elem_size : int;  (** Element size in bytes (8 for double precision). *)
+}
+
+val make : ?elem_size:int -> string -> Expr.t list -> t
+val rank : t -> int
+val pp : Format.formatter -> t -> unit

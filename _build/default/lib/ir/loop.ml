@@ -1,0 +1,96 @@
+type header = { index : string; lb : Expr.t; ub : Expr.t; step : int }
+type t = { header : header; body : block }
+and node = Loop of t | Stmt of Stmt.t
+and block = node list
+
+let loop ?(step = 1) index lb ub body =
+  if step = 0 then invalid_arg "Loop.loop: zero step";
+  { header = { index; lb; ub; step }; body }
+
+let header_equal a b =
+  String.equal a.index b.index
+  && Expr.equal a.lb b.lb && Expr.equal a.ub b.ub && a.step = b.step
+
+let trip_poly h =
+  let open Poly in
+  let diff = sub (Expr.to_poly h.ub) (Expr.to_poly h.lb) in
+  div_rat (add diff (int h.step)) (Rat.of_int h.step)
+
+let rec depth l =
+  1
+  + List.fold_left
+      (fun acc node ->
+        match node with Loop inner -> max acc (depth inner) | Stmt _ -> acc)
+      0 l.body
+
+let rec block_statements (b : block) : Stmt.t list =
+  List.concat_map
+    (function Loop l -> block_statements l.body | Stmt s -> [ s ])
+    b
+
+let statements l = block_statements l.body
+
+let rec loops_on_spine l =
+  match l.body with
+  | [ Loop inner ] -> l.header :: loops_on_spine inner
+  | _ -> [ l.header ]
+
+let rec is_perfect l =
+  match l.body with
+  | [ Loop inner ] -> is_perfect inner
+  | body -> List.for_all (function Stmt _ -> true | Loop _ -> false) body
+
+let enclosing_headers l stmt =
+  let target = stmt.Stmt.label in
+  let rec go_loop l acc =
+    go_block l.body (l.header :: acc)
+  and go_block b acc =
+    List.fold_left
+      (fun found node ->
+        match found with
+        | Some _ -> found
+        | None -> (
+          match node with
+          | Stmt s -> if String.equal s.Stmt.label target then Some acc else None
+          | Loop inner -> go_loop inner acc))
+      None b
+  in
+  Option.map List.rev (go_loop l [])
+
+let inner_loops l =
+  List.filter_map (function Loop inner -> Some inner | Stmt _ -> None) l.body
+
+let body_is_all_loops l =
+  l.body <> [] && List.for_all (function Loop _ -> true | Stmt _ -> false) l.body
+
+let rec map_statements f l = { l with body = map_block f l.body }
+
+and map_block f b =
+  List.map
+    (function Loop l -> Loop (map_statements f l) | Stmt s -> Stmt (f s))
+    b
+
+let rec indices l =
+  l.header.index
+  :: List.concat_map
+       (function Loop inner -> indices inner | Stmt _ -> [])
+       l.body
+
+let free_vars l =
+  let module S = Set.Make (String) in
+  let bound = S.of_list (indices l) in
+  let add_expr acc e = List.fold_left (fun a v -> S.add v a) acc (Expr.vars e) in
+  let rec go acc l =
+    let acc = add_expr (add_expr acc l.header.lb) l.header.ub in
+    List.fold_left
+      (fun acc node ->
+        match node with
+        | Loop inner -> go acc inner
+        | Stmt s ->
+          List.fold_left
+            (fun acc (r, _) ->
+              List.fold_left add_expr acc r.Reference.subs)
+            acc (Stmt.refs s))
+      acc l.body
+  in
+  S.elements (S.diff (go S.empty l) bound)

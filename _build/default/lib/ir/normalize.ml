@@ -1,0 +1,119 @@
+let map_exprs_stmt f (s : Stmt.t) =
+  let map_ref (r : Reference.t) =
+    { r with Reference.subs = List.map f r.Reference.subs }
+  in
+  let rec rx (e : Stmt.rexpr) =
+    match e with
+    | Stmt.Const _ | Stmt.Scalar _ -> e
+    | Stmt.Iexpr i -> Stmt.Iexpr (f i)
+    | Stmt.Load r -> Stmt.Load (map_ref r)
+    | Stmt.Unop (op, a) -> Stmt.Unop (op, rx a)
+    | Stmt.Binop (op, a, b) -> Stmt.Binop (op, rx a, rx b)
+  in
+  let lhs =
+    match s.Stmt.lhs with
+    | Stmt.Store r -> Stmt.Store (map_ref r)
+    | l -> l
+  in
+  { s with Stmt.lhs; rhs = rx s.Stmt.rhs }
+
+let rec map_exprs_block f (b : Loop.block) =
+  List.map
+    (function
+      | Loop.Stmt s -> Loop.Stmt (map_exprs_stmt f s)
+      | Loop.Loop l ->
+        Loop.Loop
+          {
+            Loop.header =
+              {
+                l.Loop.header with
+                Loop.lb = f l.Loop.header.Loop.lb;
+                ub = f l.Loop.header.Loop.ub;
+              };
+            body = map_exprs_block f l.Loop.body;
+          })
+    b
+
+let simplify_exprs (p : Program.t) =
+  Program.map_body (map_exprs_block Expr.simplify) p
+
+(* Constant scalar assignments at the very top of the program, each
+   assigned exactly once anywhere. *)
+let top_constants (p : Program.t) =
+  let assigned_once x =
+    let count = ref 0 in
+    let rec go (b : Loop.block) =
+      List.iter
+        (function
+          | Loop.Stmt s ->
+            if List.mem x (Stmt.scalars_written s) then incr count
+          | Loop.Loop l -> go l.Loop.body)
+        b
+    in
+    go p.Program.body;
+    !count = 1
+  in
+  let rec collect acc = function
+    | Loop.Stmt { Stmt.lhs = Stmt.Scalar_set x; rhs = Stmt.Const c; _ } :: rest
+      when assigned_once x ->
+      collect ((x, c) :: acc) rest
+    | _ -> List.rev acc
+  in
+  collect [] p.Program.body
+
+let subst_scalar_stmt (x, c) (s : Stmt.t) =
+  let rec rx (e : Stmt.rexpr) =
+    match e with
+    | Stmt.Scalar y when String.equal y x -> Stmt.Const c
+    | Stmt.Const _ | Stmt.Scalar _ | Stmt.Iexpr _ | Stmt.Load _ -> e
+    | Stmt.Unop (op, a) -> Stmt.Unop (op, rx a)
+    | Stmt.Binop (op, a, b) -> Stmt.Binop (op, rx a, rx b)
+  in
+  { s with Stmt.rhs = rx s.Stmt.rhs }
+
+let propagate_scalar_constants (p : Program.t) =
+  let consts = top_constants p in
+  if consts = [] then p
+  else
+    Program.map_body
+      (fun b ->
+        let b =
+          List.map
+            (fun node ->
+              match node with
+              | Loop.Stmt s ->
+                Loop.Stmt (List.fold_left (fun s c -> subst_scalar_stmt c s) s consts)
+              | Loop.Loop l ->
+                Loop.Loop
+                  (Loop.map_statements
+                     (fun s ->
+                       List.fold_left (fun s c -> subst_scalar_stmt c s) s consts)
+                     l))
+            b
+        in
+        b)
+      p
+
+let scalar_read_anywhere (p : Program.t) x =
+  let found = ref false in
+  let rec go (b : Loop.block) =
+    List.iter
+      (function
+        | Loop.Stmt s -> if List.mem x (Stmt.scalars_read s) then found := true
+        | Loop.Loop l -> go l.Loop.body)
+      b
+  in
+  go p.Program.body;
+  !found
+
+let dead_scalar_elimination (p : Program.t) =
+  Program.map_body
+    (List.filter (fun node ->
+         match node with
+         | Loop.Stmt { Stmt.lhs = Stmt.Scalar_set x; _ } ->
+           scalar_read_anywhere p x
+         | Loop.Stmt _ | Loop.Loop _ -> true))
+    p
+
+let run p =
+  p |> propagate_scalar_constants |> dead_scalar_elimination |> simplify_exprs

@@ -1,0 +1,21 @@
+(** Program normalisation passes run before analysis, standing in for the
+    front-end cleanups the paper's Memoria relied on (Section 5.1:
+    constant propagation, forward expression propagation, dead code
+    elimination).
+
+    These are deliberately modest: enough to canonicalise what the
+    builder, the frontend, and the transformations produce. *)
+
+val simplify_exprs : Program.t -> Program.t
+(** Constant-fold every bound and subscript expression. *)
+
+val propagate_scalar_constants : Program.t -> Program.t
+(** Inline scalars that are assigned a constant exactly once at top level
+    before any loop, into the statements that read them; the (now dead)
+    assignment is removed when no other use remains. *)
+
+val dead_scalar_elimination : Program.t -> Program.t
+(** Drop top-level scalar assignments whose value is never read. *)
+
+val run : Program.t -> Program.t
+(** All passes, in a sensible order. *)

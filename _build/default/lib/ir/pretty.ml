@@ -1,0 +1,29 @@
+let pp_header ppf (h : Loop.header) =
+  if h.step = 1 then
+    Format.fprintf ppf "DO %s = %a, %a" h.index Expr.pp h.lb Expr.pp h.ub
+  else
+    Format.fprintf ppf "DO %s = %a, %a, %d" h.index Expr.pp h.lb Expr.pp h.ub
+      h.step
+
+let rec pp_node ppf = function
+  | Loop.Stmt s -> Stmt.pp ppf s
+  | Loop.Loop l ->
+    Format.fprintf ppf "@[<v 2>%a@,%a@]@,ENDDO" pp_header l.header pp_block
+      l.body
+
+and pp_block ppf (b : Loop.block) =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_node ppf b
+
+let pp_program ppf (p : Program.t) =
+  Format.fprintf ppf "@[<v>PROGRAM %s@," p.name;
+  List.iter
+    (fun (x, d) -> Format.fprintf ppf "PARAMETER (%s = %d)@," x d)
+    p.params;
+  List.iter
+    (fun d -> Format.fprintf ppf "REAL*%d %a@," d.Decl.elem_size Decl.pp d)
+    p.decls;
+  pp_block ppf p.body;
+  Format.fprintf ppf "@,END@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+let block_to_string b = Format.asprintf "@[<v>%a@]" pp_block b

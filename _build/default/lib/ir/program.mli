@@ -1,0 +1,27 @@
+(** Whole programs: array declarations, symbolic parameters, and a
+    top-level block of loops and statements. *)
+
+type t = {
+  name : string;
+  params : (string * int) list;
+      (** Symbolic size parameters with their default (evaluation) values. *)
+  decls : Decl.t list;
+  body : Loop.block;
+}
+
+val make :
+  name:string -> ?params:(string * int) list -> Decl.t list -> Loop.block -> t
+
+val decl : t -> string -> Decl.t option
+val top_loops : t -> Loop.t list
+(** Top-level loops in textual order (statements outside loops skipped). *)
+
+val map_body : (Loop.block -> Loop.block) -> t -> t
+
+val validate : t -> (unit, string) result
+(** Check that every referenced array is declared with matching rank, loop
+    index names are unique along each nest path, and steps are non-zero. *)
+
+val param_env : t -> string -> int
+(** Evaluation environment for the default parameter values.
+    @raise Not_found for unknown names. *)

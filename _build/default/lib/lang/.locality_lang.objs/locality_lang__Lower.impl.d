@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Decl Expr Hashtbl List Loop Parser Printf Program Reference Stmt String

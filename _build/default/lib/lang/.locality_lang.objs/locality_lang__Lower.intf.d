@@ -1,0 +1,1 @@
+lib/lang/lower.mli: Ast Expr Program

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Ast

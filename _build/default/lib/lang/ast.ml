@@ -1,0 +1,20 @@
+type expr =
+  | Num_int of int
+  | Num_float of float
+  | Id of string
+  | Call of string * expr list
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+and binop = Add | Sub | Mul | Div
+
+type stmt =
+  | Assign of { name : string; subs : expr list option; rhs : expr }
+  | Do of { index : string; lb : expr; ub : expr; step : int; body : stmt list }
+
+type program = {
+  name : string;
+  params : (string * int) list;
+  decls : (string * expr list) list;
+  body : stmt list;
+}

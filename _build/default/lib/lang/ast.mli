@@ -1,0 +1,23 @@
+(** Surface syntax tree of the kernel language, before name resolution. *)
+
+type expr =
+  | Num_int of int
+  | Num_float of float
+  | Id of string
+  | Call of string * expr list  (** array reference or intrinsic call *)
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+and binop = Add | Sub | Mul | Div
+
+type stmt =
+  | Assign of { name : string; subs : expr list option; rhs : expr }
+      (** [subs = None] assigns a scalar *)
+  | Do of { index : string; lb : expr; ub : expr; step : int; body : stmt list }
+
+type program = {
+  name : string;
+  params : (string * int) list;
+  decls : (string * expr list) list;
+  body : stmt list;
+}

@@ -1,0 +1,117 @@
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let keyword s =
+  match String.uppercase_ascii s with
+  | "PROGRAM" -> Some Token.KW_PROGRAM
+  | "PARAMETER" -> Some Token.KW_PARAMETER
+  | "REAL" | "DOUBLE" | "DIMENSION" -> Some Token.KW_REAL
+  | "DO" -> Some Token.KW_DO
+  | "ENDDO" -> Some Token.KW_ENDDO
+  | "END" -> Some Token.KW_END
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let at_line_start = ref true in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let last_was_newline () =
+    match !tokens with (Token.NEWLINE, _) :: _ | [] -> true | _ -> false
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      if not (last_was_newline ()) then emit Token.NEWLINE;
+      incr line;
+      incr i;
+      at_line_start := true
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then begin
+      incr i
+    end
+    else if c = '!' || ((c = 'C' || c = 'c') && !at_line_start && !i + 1 < n && src.[!i + 1] = ' ')
+    then begin
+      (* Comment to end of line. *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else begin
+      at_line_start := false;
+      if is_digit c then begin
+        let start = !i in
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        if
+          !i < n && src.[!i] = '.'
+          && not (!i + 1 < n && is_alpha src.[!i + 1])
+        then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done;
+          (* exponent *)
+          if !i < n && (src.[!i] = 'e' || src.[!i] = 'E' || src.[!i] = 'd' || src.[!i] = 'D')
+          then begin
+            incr i;
+            if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+            while !i < n && is_digit src.[!i] do
+              incr i
+            done
+          end;
+          let text =
+            String.map
+              (fun c -> if c = 'd' || c = 'D' then 'e' else c)
+              (String.sub src start (!i - start))
+          in
+          match float_of_string_opt text with
+          | Some f -> emit (Token.FLOAT f)
+          | None -> raise (Error (Printf.sprintf "bad number %s" text, !line))
+        end
+        else
+          let text = String.sub src start (!i - start) in
+          emit (Token.INT (int_of_string text))
+      end
+      else if is_alpha c then begin
+        let start = !i in
+        while !i < n && is_alnum src.[!i] do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        match keyword text with
+        | Some kw ->
+          emit kw;
+          (* Swallow the *8 of REAL*8. *)
+          if kw = Token.KW_REAL && !i < n && src.[!i] = '*' then begin
+            incr i;
+            while !i < n && is_digit src.[!i] do
+              incr i
+            done
+          end
+        | None -> emit (Token.IDENT text)
+      end
+      else begin
+        (match c with
+        | '(' -> emit Token.LPAREN
+        | ')' -> emit Token.RPAREN
+        | ',' -> emit Token.COMMA
+        | '=' -> emit Token.EQUAL
+        | '+' -> emit Token.PLUS
+        | '-' -> emit Token.MINUS
+        | '*' -> emit Token.STAR
+        | '/' -> emit Token.SLASH
+        | c -> raise (Error (Printf.sprintf "unexpected character %c" c, !line)));
+        incr i
+      end
+    end
+  done;
+  if not (last_was_newline ()) then emit Token.NEWLINE;
+  emit Token.EOF;
+  List.rev !tokens

@@ -1,0 +1,13 @@
+(** Hand-written lexer for the kernel language.
+
+    Case-insensitive keywords; [!] and [C] (in column 1, Fortran style)
+    start comments to end of line; blank lines collapse; [REAL*8] is
+    accepted and the width ignored. *)
+
+exception Error of string * int
+(** message, line number *)
+
+val tokenize : string -> (Token.t * int) list
+(** Token stream with line numbers, ending in [EOF]. Consecutive
+    NEWLINEs are collapsed and a leading newline is dropped.
+    @raise Error on invalid characters or malformed numbers. *)

@@ -1,0 +1,229 @@
+exception Error of string * int
+
+type state = { mutable toks : (Token.t * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Token.EOF
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let skip_newlines st =
+  while peek st = Token.NEWLINE do
+    advance st
+  done
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+let integer st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    n
+  | Token.MINUS ->
+    advance st;
+    (match peek st with
+    | Token.INT n ->
+      advance st;
+      -n
+    | t -> fail st (Printf.sprintf "expected integer, found %s" (Token.to_string t)))
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (Token.to_string t))
+
+(* ------------------------------------------------------- expressions *)
+
+let rec parse_expr st =
+  let lhs = parse_term st in
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      go (Ast.Bin (Ast.Add, lhs, parse_term st))
+    | Token.MINUS ->
+      advance st;
+      go (Ast.Bin (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec go lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      go (Ast.Bin (Ast.Mul, lhs, parse_factor st))
+    | Token.SLASH ->
+      advance st;
+      go (Ast.Bin (Ast.Div, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_factor st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Ast.Neg (parse_factor st)
+  | Token.PLUS ->
+    advance st;
+    parse_factor st
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Ast.Num_int n
+  | Token.FLOAT f ->
+    advance st;
+    Ast.Num_float f
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN;
+      Ast.Call (name, args)
+    end
+    else Ast.Id name
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Token.to_string t))
+
+and parse_args st =
+  let first = parse_expr st in
+  let rec go acc =
+    if peek st = Token.COMMA then begin
+      advance st;
+      go (parse_expr st :: acc)
+    end
+    else List.rev acc
+  in
+  go [ first ]
+
+(* --------------------------------------------------------- statements *)
+
+let rec parse_stmts st ~stop =
+  skip_newlines st;
+  match peek st with
+  | t when List.mem t stop -> []
+  | Token.KW_DO ->
+    let s = parse_do st in
+    s :: parse_stmts st ~stop
+  | Token.IDENT _ ->
+    let s = parse_assign st in
+    s :: parse_stmts st ~stop
+  | t ->
+    fail st (Printf.sprintf "expected statement, found %s" (Token.to_string t))
+
+and parse_do st =
+  expect st Token.KW_DO;
+  let index = ident st in
+  expect st Token.EQUAL;
+  let lb = parse_expr st in
+  expect st Token.COMMA;
+  let ub = parse_expr st in
+  let step =
+    if peek st = Token.COMMA then begin
+      advance st;
+      integer st
+    end
+    else 1
+  in
+  expect st Token.NEWLINE;
+  let body = parse_stmts st ~stop:[ Token.KW_ENDDO ] in
+  expect st Token.KW_ENDDO;
+  expect st Token.NEWLINE;
+  Ast.Do { index; lb; ub; step; body }
+
+and parse_assign st =
+  let name = ident st in
+  let subs =
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN;
+      Some args
+    end
+    else None
+  in
+  expect st Token.EQUAL;
+  let rhs = parse_expr st in
+  expect st Token.NEWLINE;
+  Ast.Assign { name; subs; rhs }
+
+(* ------------------------------------------------------------ program *)
+
+let parse_parameter st =
+  expect st Token.KW_PARAMETER;
+  expect st Token.LPAREN;
+  let name = ident st in
+  expect st Token.EQUAL;
+  let value = integer st in
+  expect st Token.RPAREN;
+  expect st Token.NEWLINE;
+  (name, value)
+
+let parse_decl st =
+  let name = ident st in
+  expect st Token.LPAREN;
+  let extents = parse_args st in
+  expect st Token.RPAREN;
+  (name, extents)
+
+let parse_decl_line st =
+  expect st Token.KW_REAL;
+  let first = parse_decl st in
+  let rec go acc =
+    if peek st = Token.COMMA then begin
+      advance st;
+      go (parse_decl st :: acc)
+    end
+    else List.rev acc
+  in
+  let decls = go [ first ] in
+  expect st Token.NEWLINE;
+  decls
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  skip_newlines st;
+  expect st Token.KW_PROGRAM;
+  let name = ident st in
+  expect st Token.NEWLINE;
+  let params = ref [] in
+  let decls = ref [] in
+  let rec header () =
+    skip_newlines st;
+    match peek st with
+    | Token.KW_PARAMETER ->
+      params := parse_parameter st :: !params;
+      header ()
+    | Token.KW_REAL ->
+      decls := !decls @ parse_decl_line st;
+      header ()
+    | _ -> ()
+  in
+  header ();
+  let body = parse_stmts st ~stop:[ Token.KW_END ] in
+  expect st Token.KW_END;
+  skip_newlines st;
+  expect st Token.EOF;
+  { Ast.name; params = List.rev !params; decls = !decls; body }

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the kernel language.
+
+    Grammar sketch (newline-terminated statements):
+    {v
+    program   ::= PROGRAM id nl { PARAMETER ( id = int ) nl }
+                  { REAL decl {, decl} nl } stmt* END nl?
+    decl      ::= id ( expr {, expr} )
+    stmt      ::= DO id = expr , expr [, int] nl stmt* ENDDO nl
+                | lvalue = expr nl
+    lvalue    ::= id [ ( expr {, expr} ) ]
+    expr      ::= term  { ("+" | "-") term }
+    term      ::= factor { ("*" | "/") factor }
+    factor    ::= [-] atom
+    atom      ::= number | id [ ( expr {, expr} ) ] | ( expr )
+    v} *)
+
+exception Error of string * int
+(** message, line *)
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors; @raise Lexer.Error on lexical errors. *)

@@ -1,0 +1,1 @@
+lib/stats/ablation.ml: List Locality_cachesim Locality_core Locality_interp Locality_suite Loop Printf Program Report String

@@ -1,0 +1,1 @@
+lib/stats/csv.ml: Filename Fun List Locality_suite Perf Printf String Sys Table2

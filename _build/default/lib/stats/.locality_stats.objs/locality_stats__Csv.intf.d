@@ -1,0 +1,1 @@
+lib/stats/csv.mli: Perf Table2

@@ -1,0 +1,1 @@
+lib/stats/figures.ml: Array Buffer List Locality_cachesim Locality_core Locality_interp Locality_suite Loop Poly Pretty Printf Program Reference Report String Table2

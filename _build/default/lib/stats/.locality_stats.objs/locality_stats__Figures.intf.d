@@ -1,0 +1,1 @@
+lib/stats/figures.mli: Table2

@@ -1,0 +1,1 @@
+lib/stats/perf.ml: List Locality_cachesim Locality_core Locality_interp Locality_suite Printf Program Report Table2

@@ -1,0 +1,1 @@
+lib/stats/perf.mli: Locality_interp Table2

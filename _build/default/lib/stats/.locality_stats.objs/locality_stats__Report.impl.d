@@ -1,0 +1,1 @@
+lib/stats/report.ml: Array Buffer List Printf String

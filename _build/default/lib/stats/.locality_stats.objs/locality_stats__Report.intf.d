@@ -1,0 +1,1 @@
+lib/stats/report.mli:

@@ -1,0 +1,1 @@
+lib/stats/table2.ml: Hashtbl List Locality_core Locality_suite Loop Poly Printf Program Report

@@ -1,0 +1,1 @@
+lib/stats/table2.mli: Locality_suite Program

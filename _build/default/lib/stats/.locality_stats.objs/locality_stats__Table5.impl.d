@@ -1,0 +1,1 @@
+lib/stats/table5.ml: List Locality_core Locality_suite Printf Report String Table2

@@ -1,0 +1,1 @@
+lib/stats/table5.mli: Table2

@@ -1,0 +1,37 @@
+(** Tables 1 and 3 — modelled performance of original versus transformed
+    programs, and Table 4 — simulated cache hit rates. *)
+
+module Measure = Locality_interp.Measure
+
+type perf_row = {
+  name : string;
+  seconds_orig : float;
+  seconds_final : float;
+  speedup : float;  (** cache1 *)
+  speedup2 : float;  (** cache2 *)
+}
+
+val table1 : ?n:int -> unit -> string
+(** Erlebacher: hand-coded vs distributed vs fused (Section 4.3.4). *)
+
+val table3_rows : ?n:int -> ?cls:int -> unit -> perf_row list
+val table3 : ?n:int -> ?cls:int -> unit -> string
+(** Original vs compound-transformed modelled times for the kernels the
+    paper reports in Table 3, on the cache1 machine model. *)
+
+type hit_row = {
+  name : string;
+  opt1_orig : float;
+  opt1_final : float;
+  opt2_orig : float;
+  opt2_final : float;
+  whole1_orig : float;
+  whole1_final : float;
+  whole2_orig : float;
+  whole2_final : float;
+}
+
+val table4_rows : ?n:int -> ?cls:int -> Table2.row list -> hit_row list
+val table4 : ?n:int -> ?cls:int -> Table2.row list -> string
+(** Simulated hit rates (cold misses excluded) for optimized procedures
+    and whole programs, on cache1 (RS/6000) and cache2 (i860). *)

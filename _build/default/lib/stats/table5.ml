@@ -1,0 +1,75 @@
+module C = Locality_core
+module S = Locality_suite
+module A = C.Access_stats
+
+let featured = [ "arc2d"; "dnasa7"; "appsp"; "simple"; "wave" ]
+
+let version_row name version (st : A.t) =
+  [
+    name;
+    version;
+    Printf.sprintf "%.0f" (A.pct st.A.inv st);
+    Printf.sprintf "%.0f" (A.pct st.A.unit_ st);
+    Printf.sprintf "%.0f" (A.pct st.A.none st);
+    string_of_int st.A.group_spatial;
+    Printf.sprintf "%.2f" (A.refs_per_group st.A.inv);
+    Printf.sprintf "%.2f" (A.refs_per_group st.A.unit_);
+    Printf.sprintf "%.2f" (A.refs_per_group st.A.none);
+    Printf.sprintf "%.2f" (A.avg_refs_per_group st);
+  ]
+
+let stats_of (r : Table2.row) =
+  let cls = 4 in
+  let original = A.of_program ~which:`Actual ~cls r.Table2.original in
+  let final = A.of_program ~which:`Actual ~cls r.Table2.transformed in
+  let ideal = A.of_program ~which:`Ideal ~cls r.Table2.original in
+  (original, final, ideal)
+
+let render_for rows =
+  let pick name =
+    List.find_opt
+      (fun (r : Table2.row) ->
+        String.equal r.Table2.entry.S.Programs.name name)
+      rows
+  in
+  let body = ref [] in
+  List.iter
+    (fun name ->
+      match pick name with
+      | None -> ()
+      | Some r ->
+        let original, final, ideal = stats_of r in
+        body :=
+          !body
+          @ [
+              version_row name "original" original;
+              version_row "" "final" final;
+              version_row "" "ideal" ideal;
+            ])
+    featured;
+  (* all programs *)
+  let sum f =
+    List.fold_left (fun acc r -> A.add acc (f r)) A.empty rows
+  in
+  let all_orig = sum (fun r -> let o, _, _ = stats_of r in o) in
+  let all_final = sum (fun r -> let _, f, _ = stats_of r in f) in
+  let all_ideal = sum (fun r -> let _, _, i = stats_of r in i) in
+  body :=
+    !body
+    @ [
+        version_row "all programs" "original" all_orig;
+        version_row "" "final" all_final;
+        version_row "" "ideal" all_ideal;
+      ];
+  Report.render
+    ~title:"Table 5: Data Access Properties"
+    ~note:
+      "Groups classified by self reuse of the representative w.r.t. the \
+       (actual or ideal memory-order) innermost loop; Refs/Group measures \
+       group-temporal reuse."
+    [ Report.Left; Report.Left ]
+    [
+      "Program"; "Version"; "Inv%"; "Unit%"; "None%"; "GroupSp";
+      "R/G Inv"; "R/G Unit"; "R/G None"; "R/G Avg";
+    ]
+    !body

@@ -1,0 +1,7 @@
+(** Table 5 — data access properties: per-program reference-group
+    classification (invariant / unit-stride / none), group-spatial share,
+    and references per group, for the original, final and ideal versions. *)
+
+val render_for : Table2.row list -> string
+(** Rows for the five programs the paper details (arc2d, dnasa7, appsp,
+    simple, wave) plus the all-programs summary. *)

@@ -1,0 +1,1 @@
+lib/suite/kernels.ml: Builder List String

@@ -1,0 +1,1 @@
+lib/suite/kernels.mli: Program

@@ -1,0 +1,1 @@
+lib/suite/programs.mli: Program Synth

@@ -1,0 +1,1 @@
+lib/suite/synth.mli: Program

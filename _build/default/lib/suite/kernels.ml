@@ -1,0 +1,437 @@
+open Builder
+
+let matmul_orders = [ "JKI"; "KJI"; "JIK"; "IJK"; "KIJ"; "IKJ" ]
+
+let matmul ?(order = "IJK") n =
+  let nn = v "N" in
+  let body =
+    asn
+      (r "C" [ v "I"; v "J" ])
+      (ld "C" [ v "I"; v "J" ] +! (ld "A" [ v "I"; v "K" ] *! ld "B" [ v "K"; v "J" ]))
+  in
+  let rec nest = function
+    | [] -> body
+    | x :: rest -> do_ (String.make 1 x) (i 1) nn [ nest rest ]
+  in
+  program ("matmul_" ^ order)
+    ~params:[ ("N", n) ]
+    ~arrays:[ ("A", [ nn; nn ]); ("B", [ nn; nn ]); ("C", [ nn; nn ]) ]
+    [ nest (List.init (String.length order) (String.get order)) ]
+
+let cholesky ?(form = `KIJ) n =
+  let nn = v "N" in
+  let body =
+    match form with
+    | `KIJ ->
+      [
+        do_ "K" (i 1) nn
+          [
+            asn (r "A" [ v "K"; v "K" ]) (sqrt_ (ld "A" [ v "K"; v "K" ]));
+            do_ "I" (v "K" +$ i 1) nn
+              [
+                asn
+                  (r "A" [ v "I"; v "K" ])
+                  (ld "A" [ v "I"; v "K" ] /! ld "A" [ v "K"; v "K" ]);
+                do_ "J" (v "K" +$ i 1) (v "I")
+                  [
+                    asn
+                      (r "A" [ v "I"; v "J" ])
+                      (ld "A" [ v "I"; v "J" ]
+                      -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "J"; v "K" ]));
+                  ];
+              ];
+          ];
+      ]
+    | `KJI ->
+      [
+        do_ "K" (i 1) nn
+          [
+            asn (r "A" [ v "K"; v "K" ]) (sqrt_ (ld "A" [ v "K"; v "K" ]));
+            do_ "I" (v "K" +$ i 1) nn
+              [
+                asn
+                  (r "A" [ v "I"; v "K" ])
+                  (ld "A" [ v "I"; v "K" ] /! ld "A" [ v "K"; v "K" ]);
+              ];
+            do_ "J" (v "K" +$ i 1) nn
+              [
+                do_ "I" (v "J") nn
+                  [
+                    asn
+                      (r "A" [ v "I"; v "J" ])
+                      (ld "A" [ v "I"; v "J" ]
+                      -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "J"; v "K" ]));
+                  ];
+              ];
+          ];
+      ]
+  in
+  program
+    (match form with `KIJ -> "cholesky_kij" | `KJI -> "cholesky_kji")
+    ~params:[ ("N", n) ]
+    ~arrays:[ ("A", [ nn; nn ]) ]
+    body
+
+let adi_fragment n =
+  let nn = v "N" in
+  program "adi" ~params:[ ("N", n) ]
+    ~arrays:[ ("X", [ nn; nn ]); ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+    [
+      do_ "I" (i 2) nn
+        [
+          do_ "K" (i 1) nn
+            [
+              asn
+                (r "X" [ v "I"; v "K" ])
+                (ld "X" [ v "I"; v "K" ]
+                -! (ld "X" [ v "I" -$ i 1; v "K" ] *! ld "A" [ v "I"; v "K" ]
+                   /! ld "B" [ v "I" -$ i 1; v "K" ]));
+            ];
+          do_ "K" (i 1) nn
+            [
+              asn
+                (r "B" [ v "I"; v "K" ])
+                (ld "B" [ v "I"; v "K" ]
+                -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "I"; v "K" ]
+                   /! ld "B" [ v "I" -$ i 1; v "K" ]));
+            ];
+        ];
+    ]
+
+let adi_fused n =
+  let nn = v "N" in
+  program "adi_fused" ~params:[ ("N", n) ]
+    ~arrays:[ ("X", [ nn; nn ]); ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+    [
+      do_ "K" (i 1) nn
+        [
+          do_ "I" (i 2) nn
+            [
+              asn
+                (r "X" [ v "I"; v "K" ])
+                (ld "X" [ v "I"; v "K" ]
+                -! (ld "X" [ v "I" -$ i 1; v "K" ] *! ld "A" [ v "I"; v "K" ]
+                   /! ld "B" [ v "I" -$ i 1; v "K" ]));
+              asn
+                (r "B" [ v "I"; v "K" ])
+                (ld "B" [ v "I"; v "K" ]
+                -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "I"; v "K" ]
+                   /! ld "B" [ v "I" -$ i 1; v "K" ]));
+            ];
+        ];
+    ]
+
+(* --------------------------------------------------------- Erlebacher *)
+
+(* A 3-D ADI-style forward sweep along Z, expressed as single-statement
+   loops over (I,J) planes — the scalarizer-like shape of Section 4.3.4.
+   The "hand" version leaves two nests with the K (plane) loop misplaced;
+   "distributed" places every nest in memory order; "fused" merges the
+   compatible plane updates. *)
+
+let erlebacher_arrays nn =
+  [
+    ("F", [ nn; nn; nn ]);
+    ("G", [ nn; nn; nn ]);
+    ("UX", [ nn; nn; nn ]);
+    ("D", [ nn ]);
+  ]
+
+let erlebacher_body ~hand =
+  let nn = v "N" in
+  let plane_update name rhs =
+    (* memory order: K outer, J, I inner *)
+    do_ ("K" ^ name) (i 2) nn
+      [
+        do_ ("J" ^ name) (i 1) nn
+          [ do_ ("I" ^ name) (i 1) nn [ rhs (v ("I" ^ name)) (v ("J" ^ name)) (v ("K" ^ name)) ] ];
+      ]
+  in
+  let plane_update_bad name rhs =
+    (* I outermost: poor order the compiler must fix *)
+    do_ ("I" ^ name) (i 1) nn
+      [
+        do_ ("J" ^ name) (i 1) nn
+          [ do_ ("K" ^ name) (i 2) nn [ rhs (v ("I" ^ name)) (v ("J" ^ name)) (v ("K" ^ name)) ] ];
+      ]
+  in
+  let s1 vi vj vk =
+    asn
+      (r "F" [ vi; vj; vk ])
+      (ld "F" [ vi; vj; vk ]
+      -! (ld "F" [ vi; vj; vk -$ i 1 ] *! ld "D" [ vk ]))
+  in
+  let s2 vi vj vk =
+    asn
+      (r "G" [ vi; vj; vk ])
+      (ld "G" [ vi; vj; vk ] -! (ld "F" [ vi; vj; vk ] *! ld "D" [ vk ]))
+  in
+  let s3 vi vj vk =
+    asn
+      (r "UX" [ vi; vj; vk ])
+      (ld "UX" [ vi; vj; vk ] +! (ld "F" [ vi; vj; vk ] *! ld "G" [ vi; vj; vk ]))
+  in
+  if hand then [ plane_update "1" s1; plane_update_bad "2" s2; plane_update "3" s3 ]
+  else [ plane_update "1" s1; plane_update "2" s2; plane_update "3" s3 ]
+
+let erlebacher_hand n =
+  let nn = v "N" in
+  program "erlebacher_hand" ~params:[ ("N", n) ]
+    ~arrays:(erlebacher_arrays nn) (erlebacher_body ~hand:true)
+
+let erlebacher_distributed n =
+  let nn = v "N" in
+  program "erlebacher_dist" ~params:[ ("N", n) ]
+    ~arrays:(erlebacher_arrays nn) (erlebacher_body ~hand:false)
+
+let erlebacher_fused n =
+  let nn = v "N" in
+  program "erlebacher_fused" ~params:[ ("N", n) ]
+    ~arrays:(erlebacher_arrays nn)
+    [
+      do_ "K" (i 2) nn
+        [
+          do_ "J" (i 1) nn
+            [
+              do_ "I" (i 1) nn
+                [
+                  asn
+                    (r "F" [ v "I"; v "J"; v "K" ])
+                    (ld "F" [ v "I"; v "J"; v "K" ]
+                    -! (ld "F" [ v "I"; v "J"; v "K" -$ i 1 ] *! ld "D" [ v "K" ]));
+                  asn
+                    (r "G" [ v "I"; v "J"; v "K" ])
+                    (ld "G" [ v "I"; v "J"; v "K" ]
+                    -! (ld "F" [ v "I"; v "J"; v "K" ] *! ld "D" [ v "K" ]));
+                  asn
+                    (r "UX" [ v "I"; v "J"; v "K" ])
+                    (ld "UX" [ v "I"; v "J"; v "K" ]
+                    +! (ld "F" [ v "I"; v "J"; v "K" ] *! ld "G" [ v "I"; v "J"; v "K" ]));
+                ];
+            ];
+        ];
+    ]
+
+(* Gaussian elimination across rows: the K-innermost form walks along a
+   row of RX (stride N), as Gmtry's author wrote it. *)
+let gmtry n =
+  let nn = v "N" in
+  program "gmtry" ~params:[ ("N", n) ]
+    ~arrays:[ ("RX", [ nn; nn ]) ]
+    [
+      do_ "I" (i 2) nn
+        [
+          do_ "J" (i 1) (v "I" -$ i 1)
+            [
+              do_ "K" (v "J" +$ i 1) nn
+                [
+                  asn
+                    (r "RX" [ v "I"; v "K" ])
+                    (ld "RX" [ v "I"; v "K" ]
+                    -! (ld "RX" [ v "I"; v "J" ] *! ld "RX" [ v "J"; v "K" ]));
+                ];
+            ];
+        ];
+    ]
+
+(* Pentadiagonal elimination sweep, scalarized so that the vector loop J
+   ended up outermost — each statement walks a row. *)
+let vpenta n =
+  let nn = v "N" in
+  program "vpenta" ~params:[ ("N", n) ]
+    ~arrays:
+      [ ("X", [ nn; nn ]); ("Y", [ nn; nn ]); ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+    [
+      do_ "J" (i 3) nn
+        [
+          do_ "I" (i 1) nn
+            [
+              asn
+                (r "X" [ v "J"; v "I" ])
+                (ld "X" [ v "J"; v "I" ]
+                -! (ld "A" [ v "J"; v "I" ] *! ld "X" [ v "J" -$ i 1; v "I" ])
+                -! (ld "B" [ v "J"; v "I" ] *! ld "X" [ v "J" -$ i 2; v "I" ]));
+              asn
+                (r "Y" [ v "J"; v "I" ])
+                (ld "Y" [ v "J"; v "I" ] -! (ld "A" [ v "J"; v "I" ] *! ld "Y" [ v "J" -$ i 1; v "I" ]));
+            ];
+        ];
+    ]
+
+(* Written for a vector machine: the recurrence runs over the OUTER loop
+   so the inner loop vectorizes; for cache the orientation is wrong. *)
+let simple_hydro n =
+  let nn = v "N" in
+  program "simple" ~params:[ ("N", n) ]
+    ~arrays:[ ("P", [ nn; nn ]); ("Q", [ nn; nn ]); ("RHO", [ nn; nn ]) ]
+    [
+      do_ "L" (i 2) nn
+        [
+          do_ "M" (i 1) nn
+            [
+              asn
+                (r "P" [ v "L"; v "M" ])
+                (ld "P" [ v "L" -$ i 1; v "M" ]
+                +! (ld "RHO" [ v "L"; v "M" ] *! ld "Q" [ v "L"; v "M" ]));
+            ];
+        ];
+      do_ "L2" (i 2) nn
+        [
+          do_ "M2" (i 1) nn
+            [
+              asn
+                (r "Q" [ v "L2"; v "M2" ])
+                (ld "Q" [ v "L2" -$ i 1; v "M2" ]
+                +! (ld "RHO" [ v "L2"; v "M2" ] *! ld "P" [ v "L2"; v "M2" ]));
+            ];
+        ];
+    ]
+
+let jacobi2d n =
+  let nn = v "N" in
+  program "jacobi2d" ~params:[ ("N", n) ]
+    ~arrays:[ ("U", [ nn; nn ]); ("UN", [ nn; nn ]) ]
+    [
+      do_ "I" (i 2) (nn -$ i 1)
+        [
+          do_ "J" (i 2) (nn -$ i 1)
+            [
+              asn
+                (r "UN" [ v "I"; v "J" ])
+                (f 0.25
+                *! (ld "U" [ v "I" -$ i 1; v "J" ]
+                   +! ld "U" [ v "I" +$ i 1; v "J" ]
+                   +! ld "U" [ v "I"; v "J" -$ i 1 ]
+                   +! ld "U" [ v "I"; v "J" +$ i 1 ]));
+            ];
+        ];
+    ]
+
+(* Block-tridiagonal solve fragment: a rank-4 array whose small leading
+   block dimensions the paper blames for Applu's slight regression; here
+   the sweep dimension is misplaced and permutation fixes it. *)
+let btrix n =
+  let nn = v "N" in
+  let five = i 5 in
+  program "btrix" ~params:[ ("N", n) ]
+    ~arrays:[ ("AB", [ five; nn; nn ]); ("BB", [ five; nn; nn ]) ]
+    [
+      do_ "M" (i 1) five
+        [
+          do_ "J" (i 2) nn
+            [
+              do_ "K" (i 1) nn
+                [
+                  asn
+                    (r "AB" [ v "M"; v "J"; v "K" ])
+                    (ld "AB" [ v "M"; v "J"; v "K" ]
+                    -! (ld "AB" [ v "M"; v "J" -$ i 1; v "K" ]
+                       *! ld "BB" [ v "M"; v "J"; v "K" ]));
+                ];
+            ];
+        ];
+    ]
+
+(* Shallow-water model fragment (swm256 style): several fusable stencil
+   sweeps over shared velocity/height fields, already in memory order. *)
+let shallow_water n =
+  let nn = v "N" in
+  program "swm" ~params:[ ("N", n) ]
+    ~arrays:
+      [ ("U", [ nn; nn ]); ("V", [ nn; nn ]); ("P", [ nn; nn ]);
+        ("CU", [ nn; nn ]); ("CV", [ nn; nn ]); ("H", [ nn; nn ]) ]
+    [
+      do_ "Ja" (i 2) (nn -$ i 1)
+        [
+          do_ "Ia" (i 2) (nn -$ i 1)
+            [
+              asn
+                (r "CU" [ v "Ia"; v "Ja" ])
+                (f 0.5
+                *! (ld "P" [ v "Ia"; v "Ja" ] +! ld "P" [ v "Ia" -$ i 1; v "Ja" ])
+                *! ld "U" [ v "Ia"; v "Ja" ]);
+            ];
+        ];
+      do_ "Jb" (i 2) (nn -$ i 1)
+        [
+          do_ "Ib" (i 2) (nn -$ i 1)
+            [
+              asn
+                (r "CV" [ v "Ib"; v "Jb" ])
+                (f 0.5
+                *! (ld "P" [ v "Ib"; v "Jb" ] +! ld "P" [ v "Ib"; v "Jb" -$ i 1 ])
+                *! ld "V" [ v "Ib"; v "Jb" ]);
+            ];
+        ];
+      do_ "Jc" (i 2) (nn -$ i 1)
+        [
+          do_ "Ic" (i 2) (nn -$ i 1)
+            [
+              asn
+                (r "H" [ v "Ic"; v "Jc" ])
+                (ld "P" [ v "Ic"; v "Jc" ]
+                +! (f 0.25
+                   *! (ld "U" [ v "Ic"; v "Jc" ] *! ld "U" [ v "Ic"; v "Jc" ]
+                      +! ld "V" [ v "Ic"; v "Jc" ] *! ld "V" [ v "Ic"; v "Jc" ])));
+            ];
+        ];
+    ]
+
+let transpose n =
+  let nn = v "N" in
+  program "transpose" ~params:[ ("N", n) ]
+    ~arrays:[ ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+    [
+      do_ "I" (i 1) nn
+        [ do_ "J" (i 1) nn [ asn (r "B" [ v "I"; v "J" ]) (ld "A" [ v "J"; v "I" ]) ] ];
+    ]
+
+(* Right-looking LU factorisation without pivoting, written in the
+   row-oriented (I,J) update order a Fortran programmer naively ports
+   from a C textbook — the wrong order for column-major storage. The
+   optimizer distributes the K body and interchanges the update to
+   (J,I), the column-oriented form [DGE91] recommends. *)
+let lu n =
+  let nn = v "N" in
+  program "lu" ~params:[ ("N", n) ]
+    ~arrays:[ ("A", [ nn; nn ]) ]
+    [
+      do_ "K" (i 1) (nn -$ i 1)
+        [
+          do_ "S" (v "K" +$ i 1) nn
+            [
+              asn ~label:"L1"
+                (r "A" [ v "S"; v "K" ])
+                (ld "A" [ v "S"; v "K" ] /! ld "A" [ v "K"; v "K" ]);
+            ];
+          do_ "I" (v "K" +$ i 1) nn
+            [
+              do_ "J" (v "K" +$ i 1) nn
+                [
+                  asn ~label:"L2"
+                    (r "A" [ v "I"; v "J" ])
+                    (ld "A" [ v "I"; v "J" ]
+                    -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "K"; v "J" ]));
+                ];
+            ];
+        ];
+    ]
+
+let all =
+  [
+    ("matmul", matmul ?order:None);
+    ("lu", lu);
+    ("cholesky", cholesky ?form:None);
+    ("adi", adi_fragment);
+    ("adi_fused", adi_fused);
+    ("erlebacher_hand", erlebacher_hand);
+    ("erlebacher_dist", erlebacher_distributed);
+    ("erlebacher_fused", erlebacher_fused);
+    ("gmtry", gmtry);
+    ("vpenta", vpenta);
+    ("simple", simple_hydro);
+    ("jacobi2d", jacobi2d);
+    ("btrix", btrix);
+    ("swm", shallow_water);
+    ("transpose", transpose);
+  ]

@@ -1,0 +1,118 @@
+type entry = {
+  name : string;
+  group : string;
+  lines : int;
+  paper_loops : int;
+  paper_nests : int;
+  spec : Synth.spec;
+}
+
+let round_int f = int_of_float (Float.round f)
+
+(* Scale a paper-sized program down to at most [cap] nests and derive
+   template counts from its Table-2 row. Distributed nests come out of
+   the "permuted" budget (they end up permuted via distribution), fusion
+   pairs out of the "already in memory order" budget, and 13% of the
+   failures are bounds-too-complex (Section 5.2's split: 87% dependences,
+   the rest complex bounds). *)
+let derive ~name ~loops ~nests ~orig_pct ~perm_pct ~fuse_a ~dist_d () =
+  let cap = 30 in
+  let scale = if nests > cap then float_of_int cap /. float_of_int nests else 1.0 in
+  let sc x = round_int (float_of_int x *. scale) in
+  let n = sc nests in
+  if n = 0 then Synth.zero name
+  else begin
+    let orig = min n (round_int (float_of_int (orig_pct * n) /. 100.0)) in
+    let perm = min (n - orig) (round_int (float_of_int (perm_pct * n) /. 100.0)) in
+    let fail = n - orig - perm in
+    let dist = min (if dist_d > 0 then max 1 (sc dist_d) else 0) perm in
+    let perm = perm - dist in
+    let inner3 = perm / 3 in
+    let perm = perm - inner3 in
+    let fuse_pairs =
+      min (if fuse_a > 0 then max 1 (sc fuse_a) else 0) (orig / 2)
+    in
+    let orig = orig - (2 * fuse_pairs) in
+    let reductions = orig / 5 in
+    let orig = orig - reductions in
+    let complex = round_int (0.13 *. float_of_int fail) in
+    let fail = fail - complex in
+    let fail_inner3 = fail / 4 in
+    let fail = fail - fail_inner3 in
+    (* Roughly a third of the remaining nests are depth 3. *)
+    let good3 = orig / 3 and perm3 = perm / 3 and fail3 = fail / 3 in
+    let good2 = orig - good3 and perm2 = perm - perm3 and fail2 = fail - fail3 in
+    let spec =
+      {
+        (Synth.zero name) with
+        Synth.good2;
+        perm2;
+        fail2;
+        good3;
+        perm3;
+        fail3;
+        inner3;
+        fail_inner3;
+        fuse_pairs;
+        dist;
+        reductions;
+        complex;
+      }
+    in
+    let singles = max 0 (sc loops - Synth.loops_of spec) in
+    { spec with Synth.singles }
+  end
+
+let mk name group lines loops nests orig_pct perm_pct fuse_a dist_d =
+  {
+    name;
+    group;
+    lines;
+    paper_loops = loops;
+    paper_nests = nests;
+    spec = derive ~name ~loops ~nests ~orig_pct ~perm_pct ~fuse_a ~dist_d ();
+  }
+
+(* Table 2 of the paper, row by row:
+   name, lines, loops, nests, %orig, %perm, fusion A, distribution D. *)
+let all =
+  [
+    mk "adm" "Perfect" 6105 219 106 52 16 0 1;
+    mk "arc2d" "Perfect" 3965 152 75 55 28 12 1;
+    mk "bdna" "Perfect" 3980 104 56 75 18 2 3;
+    mk "dyfesm" "Perfect" 7608 164 80 63 15 1 0;
+    mk "flo52" "Perfect" 1986 149 76 83 17 1 0;
+    mk "mdg" "Perfect" 1238 25 12 83 8 0 0;
+    mk "mg3d" "Perfect" 2812 88 40 95 3 0 1;
+    mk "ocean" "Perfect" 4343 115 56 82 13 1 3;
+    mk "qcd" "Perfect" 2327 94 45 53 11 0 0;
+    mk "spec77" "Perfect" 3885 255 162 64 7 0 0;
+    mk "track" "Perfect" 3735 57 32 50 16 1 1;
+    mk "trfd" "Perfect" 485 67 29 52 0 0 0;
+    mk "dnasa7" "SPEC" 1105 111 50 64 14 2 1;
+    mk "doduc" "SPEC" 5334 60 33 6 6 0 4;
+    mk "fpppp" "SPEC" 2718 23 8 88 12 0 0;
+    mk "hydro2d" "SPEC" 4461 110 55 100 0 11 0;
+    mk "matrix300" "SPEC" 439 4 2 50 50 0 1;
+    mk "mdljdp2" "SPEC" 4316 4 1 0 0 0 0;
+    mk "mdljsp2" "SPEC" 3885 4 1 0 0 0 0;
+    mk "ora" "SPEC" 453 6 3 100 0 0 0;
+    mk "su2cor" "SPEC" 2514 84 36 42 19 0 4;
+    mk "swm256" "SPEC" 487 16 8 88 12 0 0;
+    mk "tomcatv" "SPEC" 195 12 6 100 0 2 0;
+    mk "appbt" "NAS" 4457 181 87 98 0 1 0;
+    mk "applu" "NAS" 3285 155 71 73 3 1 2;
+    mk "appsp" "NAS" 3516 184 84 73 12 4 0;
+    mk "buk" "NAS" 305 0 0 0 0 0 0;
+    mk "cgm" "NAS" 855 11 6 0 0 0 0;
+    mk "embar" "NAS" 265 3 2 50 0 0 0;
+    mk "fftpde" "NAS" 773 40 18 89 0 0 0;
+    mk "mgrid" "NAS" 676 43 19 89 11 1 1;
+    mk "erlebacher" "Misc" 870 75 30 83 13 11 0;
+    mk "linpackd" "Misc" 797 8 4 75 0 1 0;
+    mk "simple" "Misc" 1892 39 22 86 9 2 0;
+    mk "wave" "Misc" 7519 180 85 58 29 26 0;
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+let program_of ?n e = Synth.generate ?n e.spec

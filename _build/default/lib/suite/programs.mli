@@ -1,0 +1,25 @@
+(** The 35-program evaluation suite.
+
+    Synthetic reconstructions of the Perfect, SPEC, NAS and miscellaneous
+    programs of Table 2: each spec is derived from the paper's per-program
+    shape (number of loops and nests, fractions originally in memory
+    order / permutable / blocked, fusion and distribution opportunity
+    counts), scaled to keep runtimes reasonable. Four of the programs the
+    paper analyses individually (Erlebacher, Simple, Gmtry inside Dnasa7,
+    and the ADI/Cholesky kernels) additionally exist as faithful
+    hand-written kernels in {!Kernels}. *)
+
+type entry = {
+  name : string;
+  group : string;  (** "Perfect" | "SPEC" | "NAS" | "Misc" *)
+  lines : int;  (** paper's non-comment line count, for reporting *)
+  paper_loops : int;
+  paper_nests : int;
+  spec : Synth.spec;
+}
+
+val all : entry list
+(** The 35 programs, paper order. *)
+
+val find : string -> entry option
+val program_of : ?n:int -> entry -> Program.t

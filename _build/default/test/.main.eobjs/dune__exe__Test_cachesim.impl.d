@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Builder Decl Float List Locality_cachesim Locality_ir QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cgen.ml: Alcotest Array Filename Float Lazy List Locality_core Locality_interp Locality_ir Locality_suite Loop Pretty_c Printf Program String Sys

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Builder Expr List Locality_core Locality_dep Locality_ir Loop Poly Printf Program Rat Reference Stmt String

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Affine Alcotest Builder Expr Float List Locality_core Locality_dep Locality_interp Locality_ir Locality_suite Loop Poly Program QCheck QCheck_alcotest Rat Reference Stmt String

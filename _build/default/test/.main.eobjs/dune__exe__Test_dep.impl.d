@@ -1,0 +1,1 @@
+test/test_dep.ml: Affine Alcotest Array Builder Decl Expr Format List Locality_dep Locality_ir Loop Pretty Printf Program QCheck QCheck_alcotest Reference Stmt String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Builder Float Format Fun List Locality_cachesim Locality_core Locality_dep Locality_interp Locality_ir Locality_suite Loop Pretty Printf Program String

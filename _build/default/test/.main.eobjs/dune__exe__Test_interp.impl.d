@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Expr Float List Locality_cachesim Locality_interp Locality_ir Locality_suite Printf String

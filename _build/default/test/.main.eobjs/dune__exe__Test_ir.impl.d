@@ -1,0 +1,1 @@
+test/test_ir.ml: Affine Alcotest Builder Expr Float List Locality_ir Loop Poly Pretty Program QCheck QCheck_alcotest Rat String

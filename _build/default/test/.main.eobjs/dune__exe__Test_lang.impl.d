@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Filename List Locality_core Locality_interp Locality_ir Locality_lang Loop Pretty Program Sys

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Builder Expr List Locality_interp Locality_ir Normalize Pretty Program QCheck QCheck_alcotest String Test_semantics

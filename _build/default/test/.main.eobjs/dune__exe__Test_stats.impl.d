@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Lazy List Locality_cachesim Locality_core Locality_interp Locality_stats Locality_suite Option String

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Array Float List Locality_core Locality_interp Locality_ir Locality_suite Loop Poly Pretty Program String

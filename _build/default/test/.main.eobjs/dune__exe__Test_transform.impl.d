@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Builder List Locality_core Locality_dep Locality_interp Locality_ir Locality_suite Loop Poly Pretty Program Stmt String

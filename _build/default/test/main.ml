@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "memoria"
+    [
+      ("ir", Test_ir.suite);
+      ("cost", Test_cost.suite);
+      ("transform", Test_transform.suite);
+      ("dep", Test_dep.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("interp", Test_interp.suite);
+      ("semantics", Test_semantics.suite);
+      ("lang", Test_lang.suite);
+      ("suite", Test_suite.suite);
+      ("stats", Test_stats.suite);
+      ("extensions", Test_extensions.suite);
+      ("normalize", Test_normalize.suite);
+      ("coverage", Test_coverage.suite);
+      ("cgen", Test_cgen.suite);
+      ("units", Test_units.suite);
+    ]

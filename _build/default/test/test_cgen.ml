@@ -1,0 +1,135 @@
+(* C code generation: textual checks always; when a C compiler is
+   available, compile and run the generated code and compare its checksum
+   with the interpreter's — an end-to-end cross-language validation of
+   the transformed programs. *)
+
+open Locality_ir
+module C = Locality_core
+module S = Locality_suite
+module Exec = Locality_interp.Exec
+
+let checkb = Alcotest.check Alcotest.bool
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_cgen_text () =
+  let p = S.Kernels.matmul ~order:"JKI" 16 in
+  let c = Pretty_c.program_to_c p in
+  checkb "has kernel fn" true (contains c "void kernel(void)");
+  checkb "has for loop" true (contains c "for (long j = 1; j <= n; j += 1)");
+  checkb "linearized subscript" true (contains c "c[i + j * (n + 1)]");
+  checkb "has driver" true (contains c "int main(void)");
+  let nodriver = Pretty_c.program_to_c ~driver:false p in
+  checkb "driver optional" false (contains nodriver "int main")
+
+let test_cgen_min_bounds () =
+  let p = S.Kernels.transpose 16 in
+  let nest = List.hd (Program.top_loops p) in
+  match C.Tiling.tile ~sizes:4 nest ~band:[ "I"; "J" ] with
+  | None -> Alcotest.fail "tile failed"
+  | Some tiled ->
+    let p' = Program.map_body (fun _ -> [ Loop.Loop tiled ]) p in
+    let c = Pretty_c.program_to_c p' in
+    checkb "MIN becomes imin" true (contains c "imin(")
+
+let interp_checksum p =
+  let r = Exec.run p in
+  List.fold_left
+    (fun acc (_, a) -> Array.fold_left ( +. ) acc a)
+    0.0 r.Exec.arrays
+
+let compiler =
+  lazy
+    (List.find_opt
+       (fun cc -> Sys.command (Printf.sprintf "command -v %s >/dev/null 2>&1" cc) = 0)
+       [ "cc"; "gcc"; "clang" ])
+
+let run_c_checksum name csrc =
+  match Lazy.force compiler with
+  | None -> None
+  | Some cc ->
+    let dir = Filename.get_temp_dir_name () in
+    let base = Filename.concat dir ("memoria_" ^ name) in
+    let cfile = base ^ ".c" and exe = base ^ ".out" and outf = base ^ ".txt" in
+    let oc = open_out cfile in
+    output_string oc csrc;
+    close_out oc;
+    if Sys.command (Printf.sprintf "%s -O1 -o %s %s -lm 2>/dev/null" cc exe cfile) <> 0
+    then None
+    else if Sys.command (Printf.sprintf "%s > %s" exe outf) <> 0 then None
+    else begin
+      let ic = open_in outf in
+      let line = input_line ic in
+      close_in ic;
+      Some (float_of_string line)
+    end
+
+let check_native name p =
+  match run_c_checksum name (Pretty_c.program_to_c p) with
+  | None -> () (* no compiler available: textual tests still ran *)
+  | Some native ->
+    let expected = interp_checksum p in
+    let scale = Float.max 1.0 (Float.abs expected) in
+    checkb
+      (Printf.sprintf "%s: native %.6f == interp %.6f" name native expected)
+      true
+      (Float.abs (native -. expected) /. scale < 1e-6)
+
+let test_native_matmul () =
+  check_native "mm_orig" (S.Kernels.matmul ~order:"IJK" 20);
+  let p', _ = C.Compound.run_program ~cls:4 (S.Kernels.matmul ~order:"IJK" 20) in
+  check_native "mm_opt" p'
+
+let test_native_cholesky () =
+  let p = S.Kernels.cholesky 12 in
+  let p', _ = C.Compound.run_program ~cls:4 p in
+  check_native "chol_orig" p;
+  check_native "chol_opt" p'
+
+let test_native_tiled_transpose () =
+  let p = S.Kernels.transpose 20 in
+  let nest = List.hd (Program.top_loops p) in
+  match C.Tiling.tile ~sizes:6 nest ~band:[ "I"; "J" ] with
+  | None -> Alcotest.fail "tile failed"
+  | Some tiled ->
+    check_native "transpose_tiled"
+      (Program.map_body (fun _ -> [ Loop.Loop tiled ]) p)
+
+let test_native_unrolled () =
+  let p = S.Kernels.matmul ~order:"JKI" 11 in
+  let nest = List.hd (Program.top_loops p) in
+  match C.Unroll.unroll_and_jam nest ~loop:"K" ~factor:3 with
+  | None -> Alcotest.fail "unroll failed"
+  | Some block -> check_native "mm_unrolled" (Program.map_body (fun _ -> block) p)
+
+let test_native_register_blocked () =
+  (* The full step-3 form: stepped main loop, Div remainder bounds,
+     scalar temporaries with store-backs. *)
+  let p = S.Kernels.matmul ~order:"IJK" 13 in
+  let nest = List.hd (Program.top_loops p) in
+  match C.Unroll.unroll_and_jam nest ~loop:"J" ~factor:4 with
+  | None -> Alcotest.fail "unroll failed"
+  | Some block -> (
+    match
+      C.Unroll.map_main block ~loop:"J" ~factor:4 ~f:(fun main ->
+          (C.Scalar_replacement.apply main).C.Scalar_replacement.nest)
+    with
+    | None -> Alcotest.fail "main nest not found"
+    | Some block' ->
+      let p' = Program.map_body (fun _ -> block') p in
+      checkb "still equivalent to original" true (Exec.equivalent p p');
+      check_native "mm_register_blocked" p')
+
+let suite =
+  [
+    ("c text generation", `Quick, test_cgen_text);
+    ("c generation of MIN bounds", `Quick, test_cgen_min_bounds);
+    ("native matmul checksum", `Quick, test_native_matmul);
+    ("native cholesky checksum", `Quick, test_native_cholesky);
+    ("native tiled transpose checksum", `Quick, test_native_tiled_transpose);
+    ("native unrolled matmul checksum", `Quick, test_native_unrolled);
+    ("native register-blocked checksum", `Quick, test_native_register_blocked);
+  ]

@@ -1,0 +1,352 @@
+(* Tests for the cost model: Trip closure, RefGroup, RefCost/LoopCost and
+   memory order, validated against the worked examples of the paper
+   (matrix multiply from Figure 2, Cholesky from Figure 7, ADI from
+   Figure 3). cls = 4 elements everywhere, as in the paper. *)
+
+open Locality_ir
+module C = Locality_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let n = Poly.var "N"
+let n2 = Poly.mul n n
+let n3 = Poly.mul n n2
+let ( +: ) = Poly.add
+let ( *: ) r p = Poly.mul_rat r p
+let rat = Rat.make
+
+let pcheck name expected actual =
+  Alcotest.check
+    (Alcotest.testable Poly.pp Poly.equal)
+    name expected actual
+
+(* ---------------------------------------------------------------- data *)
+
+let matmul order =
+  let open Builder in
+  let nn = v "N" in
+  let body =
+    asn ~label:"S"
+      (r "C" [ v "I"; v "J" ])
+      (ld "C" [ v "I"; v "J" ] +! (ld "A" [ v "I"; v "K" ] *! ld "B" [ v "K"; v "J" ]))
+  in
+  let rec nest = function
+    | [] -> body
+    | x :: rest -> do_ (String.make 1 x) (i 1) nn [ nest rest ]
+  in
+  let p =
+    program "matmul"
+      ~params:[ ("N", 64) ]
+      ~arrays:[ ("A", [ nn; nn ]); ("B", [ nn; nn ]); ("C", [ nn; nn ]) ]
+      [ nest (List.init (String.length order) (String.get order)) ]
+  in
+  List.hd (Program.top_loops p)
+
+let cholesky_kij () =
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "cholesky"
+      ~params:[ ("N", 32) ]
+      ~arrays:[ ("A", [ nn; nn ]) ]
+      [
+        do_ "K" (i 1) nn
+          [
+            asn ~label:"S1" (r "A" [ v "K"; v "K" ]) (sqrt_ (ld "A" [ v "K"; v "K" ]));
+            do_ "I" (v "K" +$ i 1) nn
+              [
+                asn ~label:"S2"
+                  (r "A" [ v "I"; v "K" ])
+                  (ld "A" [ v "I"; v "K" ] /! ld "A" [ v "K"; v "K" ]);
+                do_ "J" (v "K" +$ i 1) (v "I")
+                  [
+                    asn ~label:"S3"
+                      (r "A" [ v "I"; v "J" ])
+                      (ld "A" [ v "I"; v "J" ]
+                      -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "J"; v "K" ]));
+                  ];
+              ];
+          ];
+      ]
+  in
+  List.hd (Program.top_loops p)
+
+(* ---------------------------------------------------------------- Trip *)
+
+let test_trip_rectangular () =
+  let l = matmul "JKI" in
+  let env = Locality_core.Trip.env_of_nest l in
+  pcheck "trip of J" n (C.Trip.closed_trip env l.Loop.header)
+
+let test_trip_triangular () =
+  (* DO J = K+1, I inside K: 1..N, I: K+1..N closes to N - 1. *)
+  let l = cholesky_kij () in
+  let env = C.Trip.env_of_nest l in
+  let rec find_header (l : Loop.t) name =
+    if String.equal l.Loop.header.Loop.index name then Some l.Loop.header
+    else
+      List.fold_left
+        (fun acc node ->
+          match (acc, node) with
+          | Some _, _ -> acc
+          | None, Loop.Loop inner -> find_header inner name
+          | None, Loop.Stmt _ -> None)
+        None l.Loop.body
+  in
+  match find_header l "J" with
+  | None -> Alcotest.fail "no J loop"
+  | Some hj ->
+    (* trip(J) = I - K closes to N - 1 (I -> N, K -> 1). *)
+    pcheck "closed trip of J" (Poly.sub n Poly.one) (C.Trip.closed_trip env hj)
+
+(* ------------------------------------------------------------ RefGroup *)
+
+let groups_of nest loop =
+  let deps = Locality_dep.Analysis.deps_in_nest ~include_input:true nest in
+  C.Refgroup.compute ~nest ~deps ~loop ~cls:4
+
+let test_refgroup_matmul () =
+  let l = matmul "JKI" in
+  List.iter
+    (fun candidate ->
+      let gs = groups_of l candidate in
+      checki
+        (Printf.sprintf "3 groups wrt %s" candidate)
+        3 (List.length gs);
+      (* C's write and read are one group. *)
+      let c_group =
+        List.find
+          (fun (g : C.Refgroup.group) ->
+            String.equal (List.hd g.members).ref_.Reference.array "C")
+          gs
+      in
+      checki "C group has one distinct ref" 1 (List.length c_group.members))
+    [ "I"; "J"; "K" ]
+
+let test_refgroup_spatial () =
+  (* X(I,K) and X(I-1,K): group-spatial reuse (condition 2). *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "adi1"
+      ~params:[ ("N", 16) ]
+      ~arrays:[ ("X", [ nn; nn ]); ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+      [
+        do_ "I" (i 2) nn
+          [
+            do_ "K" (i 1) nn
+              [
+                asn ~label:"S1"
+                  (r "X" [ v "I"; v "K" ])
+                  (ld "X" [ v "I"; v "K" ]
+                  -! (ld "X" [ v "I" -$ i 1; v "K" ]
+                     *! ld "A" [ v "I"; v "K" ]
+                     /! ld "B" [ v "I" -$ i 1; v "K" ]));
+              ];
+          ];
+      ]
+  in
+  let l = List.hd (Program.top_loops p) in
+  let gs = groups_of l "K" in
+  (* {X(I,K), X(I-1,K)}, {A(I,K)}, {B(I-1,K)} *)
+  checki "3 groups" 3 (List.length gs);
+  let xg =
+    List.find
+      (fun (g : C.Refgroup.group) ->
+        String.equal (List.hd g.members).ref_.Reference.array "X")
+      gs
+  in
+  checki "X group has 2 refs" 2 (List.length xg.members)
+
+let test_refgroup_cholesky () =
+  let l = cholesky_kij () in
+  let gs = groups_of l "K" in
+  (* A(K,K), A(I,K), A(I,J), A(J,K) *)
+  checki "4 groups" 4 (List.length gs);
+  (* Representative of the A(K,K) group sits in S2 (depth 2). *)
+  let akk =
+    List.find
+      (fun (g : C.Refgroup.group) ->
+        List.exists
+          (fun (m : C.Refgroup.member) ->
+            Reference.equal m.ref_ (Reference.make "A" [ Expr.Var "K"; Expr.Var "K" ]))
+          g.members)
+      gs
+  in
+  checki "A(K,K) rep depth" 2 akk.rep_depth
+
+(* ------------------------------------------------------------ LoopCost *)
+
+let test_loopcost_matmul () =
+  (* Figure 2 with cls = 4:
+       LoopCost(J) = 2n^3 + n^2   (C and B non-contiguous, A invariant)
+       LoopCost(K) = 5/4 n^3 + n^2 (A no-reuse, B consecutive, C invariant)
+       LoopCost(I) = 1/2 n^3 + n^2 (C and A consecutive, B invariant) *)
+  let l = matmul "JKI" in
+  let cost x = C.Loopcost.loop_cost ~nest:l ~cls:4 x in
+  pcheck "J" ((rat 2 1 *: n3) +: n2) (cost "J");
+  pcheck "K" ((rat 5 4 *: n3) +: n2) (cost "K");
+  pcheck "I" ((rat 1 2 *: n3) +: n2) (cost "I")
+
+let test_loopcost_order_invariant () =
+  (* LoopCost of a loop does not depend on the textual nest order. *)
+  List.iter
+    (fun order ->
+      let l = matmul order in
+      let cost x = C.Loopcost.loop_cost ~nest:l ~cls:4 x in
+      pcheck
+        (Printf.sprintf "I cost in %s" order)
+        ((rat 1 2 *: n3) +: n2) (cost "I"))
+    [ "IJK"; "IKJ"; "JIK"; "JKI"; "KIJ"; "KJI" ]
+
+let test_memorder_matmul () =
+  let l = matmul "IJK" in
+  let mo = C.Memorder.compute ~cls:4 l in
+  checks "memory order JKI" "J K I" (String.concat " " (C.Memorder.order mo));
+  checkb "IJK not memory order" false (C.Memorder.is_memory_order mo);
+  checkb "inner not best" false (C.Memorder.inner_is_best mo);
+  let mo2 = C.Memorder.compute ~cls:4 (matmul "JKI") in
+  checkb "JKI is memory order" true (C.Memorder.is_memory_order mo2);
+  checkb "KJI inner is best" true
+    (C.Memorder.inner_is_best (C.Memorder.compute ~cls:4 (matmul "KJI")))
+
+let test_memorder_cholesky () =
+  let l = cholesky_kij () in
+  let mo = C.Memorder.compute ~cls:4 l in
+  checks "memory order KJI" "K J I" (String.concat " " (C.Memorder.order mo))
+
+(* ------------------------------------------------------------- Permute *)
+
+let spine_order l =
+  List.map (fun (h : Loop.header) -> h.Loop.index) (Loop.loops_on_spine l)
+
+let test_permute_matmul_all_orders () =
+  List.iter
+    (fun order ->
+      let l = matmul order in
+      let o = C.Permute.run ~cls:4 l in
+      checkb
+        (Printf.sprintf "inner ok from %s" order)
+        true o.C.Permute.inner_ok;
+      let achieved = spine_order o.C.Permute.nest in
+      if order = "JKI" then
+        checkb "JKI already" true (o.C.Permute.status = C.Permute.Already)
+      else
+        checks
+          (Printf.sprintf "achieved from %s" order)
+          "J K I"
+          (String.concat " " achieved))
+    [ "IJK"; "IKJ"; "JIK"; "JKI"; "KIJ"; "KJI" ]
+
+let test_permute_triangular () =
+  (* DO I = 1,N / DO J = I,N : A(I,J) ... wants (J,I); triangular bounds
+     must be rewritten to DO J = 1,N / DO I = 1,J. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "tri"
+      ~params:[ ("N", 16) ]
+      ~arrays:[ ("A", [ nn; nn ]) ]
+      [
+        do_ "I" (i 1) nn
+          [
+            do_ "J" (v "I") nn
+              [ asn (r "A" [ v "I"; v "J" ]) (ld "A" [ v "I"; v "J" ] *! f 2.0) ];
+          ];
+      ]
+  in
+  let l = List.hd (Program.top_loops p) in
+  let o = C.Permute.run ~cls:4 l in
+  checkb "permuted" true (o.C.Permute.status = C.Permute.Permuted);
+  checks "order J I" "J I" (String.concat " " (spine_order o.C.Permute.nest));
+  (* New inner I bounds: 1 .. J *)
+  let inner = List.hd (Loop.inner_loops o.C.Permute.nest) in
+  checks "inner lb" "1" (Expr.to_string inner.Loop.header.Loop.lb);
+  checks "inner ub" "J" (Expr.to_string inner.Loop.header.Loop.ub)
+
+let test_permute_blocked_without_reversal () =
+  (* A(I,J) = A(I-1,J+1): interchange is illegal; without reversal the
+     permutation must fail and leave the nest unchanged. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "stencil"
+      ~params:[ ("N", 16) ]
+      ~arrays:[ ("A", [ nn; nn ]) ]
+      [
+        do_ "I" (i 2) nn
+          [
+            do_ "J" (i 1) (nn -$ i 1)
+              [ asn (r "A" [ v "I"; v "J" ]) (ld "A" [ v "I" -$ i 1; v "J" +$ i 1 ] +! f 1.0) ];
+          ];
+      ]
+  in
+  let l = List.hd (Program.top_loops p) in
+  let o = C.Permute.run ~cls:4 ~try_reversal:false l in
+  checkb "failed deps" true (o.C.Permute.status = C.Permute.Failed_deps);
+  checks "unchanged" "I J" (String.concat " " (spine_order o.C.Permute.nest))
+
+let test_permute_enabled_by_reversal () =
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "stencil"
+      ~params:[ ("N", 16) ]
+      ~arrays:[ ("A", [ nn; nn ]) ]
+      [
+        do_ "I" (i 2) nn
+          [
+            do_ "J" (i 1) (nn -$ i 1)
+              [ asn (r "A" [ v "I"; v "J" ]) (ld "A" [ v "I" -$ i 1; v "J" +$ i 1 ] +! f 1.0) ];
+          ];
+      ]
+  in
+  let l = List.hd (Program.top_loops p) in
+  let o = C.Permute.run ~cls:4 ~try_reversal:true l in
+  checkb "permuted with reversal" true (o.C.Permute.status = C.Permute.Permuted);
+  checkb "J reversed" true (List.mem "J" o.C.Permute.reversed);
+  checks "order J I" "J I" (String.concat " " (spine_order o.C.Permute.nest))
+
+let test_permute_imperfect_unchanged () =
+  let l = cholesky_kij () in
+  let o = C.Permute.run ~cls:4 l in
+  checkb "imperfect fails" true (o.C.Permute.status = C.Permute.Failed_deps)
+
+(* ------------------------------------------------------------ Reversal *)
+
+let test_reversal_apply () =
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "rev"
+      ~params:[ ("N", 8) ]
+      ~arrays:[ ("A", [ nn ]) ]
+      [ do_ "I" (i 1) nn [ asn (r "A" [ v "I" ]) (f 1.0) ] ]
+  in
+  let l = List.hd (Program.top_loops p) in
+  let l' = C.Reversal.apply l ~loop:"I" in
+  let s = List.hd (Loop.statements l') in
+  match Stmt.writes s with
+  | [ w ] -> checks "mirrored subscript" "1+N-I" (Expr.to_string (List.hd w.Reference.subs))
+  | _ -> Alcotest.fail "expected one write"
+
+let suite =
+  [
+    ("trip rectangular", `Quick, test_trip_rectangular);
+    ("trip triangular closure", `Quick, test_trip_triangular);
+    ("refgroup matmul", `Quick, test_refgroup_matmul);
+    ("refgroup spatial (ADI)", `Quick, test_refgroup_spatial);
+    ("refgroup cholesky", `Quick, test_refgroup_cholesky);
+    ("loopcost matmul = Figure 2", `Quick, test_loopcost_matmul);
+    ("loopcost independent of order", `Quick, test_loopcost_order_invariant);
+    ("memory order matmul = JKI", `Quick, test_memorder_matmul);
+    ("memory order cholesky = KJI", `Quick, test_memorder_cholesky);
+    ("permute matmul all 6 orders", `Quick, test_permute_matmul_all_orders);
+    ("permute triangular nest", `Quick, test_permute_triangular);
+    ("permute blocked (no reversal)", `Quick, test_permute_blocked_without_reversal);
+    ("permute enabled by reversal", `Quick, test_permute_enabled_by_reversal);
+    ("permute imperfect nest unchanged", `Quick, test_permute_imperfect_unchanged);
+    ("reversal apply", `Quick, test_reversal_apply);
+  ]

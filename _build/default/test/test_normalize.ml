@@ -1,0 +1,123 @@
+(* Tests for the normalisation passes. *)
+
+open Locality_ir
+module Exec = Locality_interp.Exec
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_simplify_exprs () =
+  let open Builder in
+  let p =
+    program "sx" ~arrays:[ ("A", [ i 10 ]) ]
+      [
+        do_ "I" (i 1 +$ i 0) (i 4 *$ i 2)
+          [ asn (r "A" [ (v "I" +$ i 0) *$ i 1 ]) (f 1.0) ];
+      ]
+  in
+  let p' = Normalize.simplify_exprs p in
+  let text = Pretty.program_to_string p' in
+  checkb "bounds folded" true (contains text "DO I = 1, 8");
+  checkb "subscript folded" true (contains text "A(I)")
+
+let test_constant_propagation () =
+  let open Builder in
+  let p =
+    program "cp" ~params:[ ("N", 8) ] ~arrays:[ ("A", [ v "N" ]) ]
+      [
+        sasn "half" (f 0.5);
+        do_ "I" (i 1) (v "N")
+          [ asn (r "A" [ v "I" ]) (ld "A" [ v "I" ] *! sc "half") ];
+      ]
+  in
+  let p' = Normalize.run p in
+  let text = Pretty.program_to_string p' in
+  checkb "constant inlined" true (contains text "A(I) * 0.5");
+  checkb "dead assignment removed" false (contains text "half = ");
+  checkb "same results" true (Exec.equivalent p p')
+
+let test_constant_propagation_respects_reassignment () =
+  let open Builder in
+  let p =
+    program "cp2" ~params:[ ("N", 8) ] ~arrays:[ ("A", [ v "N" ]) ]
+      [
+        sasn "s" (f 0.5);
+        do_ "I" (i 1) (v "N")
+          [
+            asn (r "A" [ v "I" ]) (ld "A" [ v "I" ] *! sc "s");
+            sasn "s" (sc "s" *! f 1.5);
+          ];
+      ]
+  in
+  (* s is reassigned in the loop: must NOT be inlined. *)
+  let p' = Normalize.run p in
+  checkb "kept varying scalar" true (Exec.equivalent p p');
+  let text = Pretty.program_to_string p' in
+  checkb "scalar still used" true (contains text "* s")
+
+let test_dead_elimination_keeps_live () =
+  let open Builder in
+  let p =
+    program "de" ~params:[ ("N", 4) ] ~arrays:[ ("A", [ v "N" ]) ]
+      [
+        sasn "dead" (f 1.0);
+        sasn "live" (f 2.0 +! f 1.0);
+        do_ "I" (i 1) (v "N") [ asn (r "A" [ v "I" ]) (sc "live") ];
+      ]
+  in
+  let p' = Normalize.dead_scalar_elimination p in
+  checki "one top stmt removed"
+    (List.length p.Program.body - 1)
+    (List.length p'.Program.body);
+  checkb "still equivalent" true (Exec.equivalent p p')
+
+let test_fold_min_max_div_neg () =
+  (* The operators the tiled/unrolled bounds use must all fold. *)
+  let open Builder in
+  let p =
+    program "fold" ~arrays:[ ("A", [ i 10 ]) ]
+      [
+        do_ "I" (i 1)
+          (Expr.Min (Expr.Int 3, Expr.Add (Expr.Int 2, Expr.Int 3)))
+          [ asn (r "A" [ v "I" ]) (f 1.0) ];
+        do_ "J" (Expr.Div (Expr.Int 7, Expr.Int 2)) (i 9)
+          [ asn (r "A" [ v "J" ]) (f 2.0) ];
+        do_ "K"
+          (Expr.Max (Expr.Int 2, Expr.Int 1))
+          (Expr.Neg (Expr.Int (-8)))
+          [ asn (r "A" [ v "K" ]) (f 3.0) ];
+      ]
+  in
+  let text = Pretty.program_to_string (Normalize.run p) in
+  checkb "min folded" true (contains text "DO I = 1, 3");
+  checkb "div folded (floor)" true (contains text "DO J = 3, 9");
+  checkb "max and neg folded" true (contains text "DO K = 2, 8");
+  checkb "equivalent" true (Exec.equivalent p (Normalize.run p))
+
+let prop_normalize_preserves_and_idempotent =
+  QCheck.Test.make ~name:"normalize preserves semantics and is idempotent"
+    ~count:150
+    (QCheck.make
+       ~print:(fun p -> Pretty.program_to_string p)
+       Test_semantics.gen_program)
+    (fun p ->
+      let p1 = Normalize.run p in
+      let p2 = Normalize.run p1 in
+      Exec.equivalent ~tol:1e-9 p p1
+      && Pretty.program_to_string p1 = Pretty.program_to_string p2)
+
+let suite =
+  [
+    ("simplify exprs", `Quick, test_simplify_exprs);
+    ("constant propagation", `Quick, test_constant_propagation);
+    ("reassigned scalar kept", `Quick, test_constant_propagation_respects_reassignment);
+    ("dead scalar elimination", `Quick, test_dead_elimination_keeps_live);
+    ("fold MIN/MAX/DIV/NEG", `Quick, test_fold_min_max_div_neg);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_normalize_preserves_and_idempotent ]

@@ -1,0 +1,390 @@
+(* Tests for fusion (Figure 4), distribution (Figure 5) and the compound
+   driver (Figure 6), validated against the paper's ADI and Cholesky
+   examples. *)
+
+open Locality_ir
+module C = Locality_core
+module Dep = Locality_dep.Depend
+module Exec = Locality_interp.Exec
+module An = Locality_dep.Analysis
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --------------------------------------------------------------- data *)
+
+let adi_program () =
+  (* Figure 3(b): scalarized Fortran 90 ADI fragment. *)
+  let open Builder in
+  let nn = v "N" in
+  program "adi" ~params:[ ("N", 32) ]
+    ~arrays:[ ("X", [ nn; nn ]); ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+    [
+      do_ "I" (i 2) nn
+        [
+          do_ "K" (i 1) nn
+            [
+              asn ~label:"S1"
+                (r "X" [ v "I"; v "K" ])
+                (ld "X" [ v "I"; v "K" ]
+                -! (ld "X" [ v "I" -$ i 1; v "K" ] *! ld "A" [ v "I"; v "K" ]
+                   /! ld "B" [ v "I" -$ i 1; v "K" ]));
+            ];
+          do_ "K" (i 1) nn
+            [
+              asn ~label:"S2"
+                (r "B" [ v "I"; v "K" ])
+                (ld "B" [ v "I"; v "K" ]
+                -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "I"; v "K" ]
+                   /! ld "B" [ v "I" -$ i 1; v "K" ]));
+            ];
+        ];
+    ]
+
+let cholesky_program () =
+  let open Builder in
+  let nn = v "N" in
+  program "cholesky" ~params:[ ("N", 32) ] ~arrays:[ ("A", [ nn; nn ]) ]
+    [
+      do_ "K" (i 1) nn
+        [
+          asn ~label:"S1" (r "A" [ v "K"; v "K" ]) (sqrt_ (ld "A" [ v "K"; v "K" ]));
+          do_ "I" (v "K" +$ i 1) nn
+            [
+              asn ~label:"S2"
+                (r "A" [ v "I"; v "K" ])
+                (ld "A" [ v "I"; v "K" ] /! ld "A" [ v "K"; v "K" ]);
+              do_ "J" (v "K" +$ i 1) (v "I")
+                [
+                  asn ~label:"S3"
+                    (r "A" [ v "I"; v "J" ])
+                    (ld "A" [ v "I"; v "J" ]
+                    -! (ld "A" [ v "I"; v "K" ] *! ld "A" [ v "J"; v "K" ]));
+                ];
+            ];
+        ];
+    ]
+
+(* -------------------------------------------------------------- Fusion *)
+
+let test_fusion_compatible_level () =
+  let p = adi_program () in
+  let l = List.hd (Program.top_loops p) in
+  match Loop.inner_loops l with
+  | [ k1; k2 ] ->
+    checki "K loops compatible at 1" 1 (C.Fusion.compatible_level k1 k2);
+    checki "self compatible" 1 (C.Fusion.compatible_level k1 k1)
+  | _ -> Alcotest.fail "expected two K loops"
+
+let test_fusion_incompatible () =
+  let open Builder in
+  let nn = v "N" in
+  let l1 = loop_of (do_ "K" (i 1) nn [ asn (r "X" [ v "K" ]) (f 0.0) ]) in
+  let l2 = loop_of (do_ "K" (i 2) nn [ asn (r "Y" [ v "K" ]) (f 0.0) ]) in
+  ignore
+    (program "c" ~params:[ ("N", 4) ]
+       ~arrays:[ ("X", [ nn ]); ("Y", [ nn ]) ]
+       [ Loop.Loop l1; Loop.Loop l2 ]);
+  checki "different lb: incompatible" 0 (C.Fusion.compatible_level l1 l2)
+
+let test_fuse_all_inner_adi () =
+  let p = adi_program () in
+  let l = List.hd (Program.top_loops p) in
+  match C.Fusion.fuse_all_inner ~cls:4 l with
+  | None -> Alcotest.fail "ADI inner K loops should fuse"
+  | Some fused ->
+    checkb "perfect after fusion" true (Loop.is_perfect fused);
+    checki "two statements" 2 (List.length (Loop.statements fused));
+    (* S1 stays before S2. *)
+    (match Loop.statements fused with
+    | [ a; b ] ->
+      checks "S1 first" "S1" a.Stmt.label;
+      checks "S2 second" "S2" b.Stmt.label
+    | _ -> Alcotest.fail "expected 2 stmts")
+
+let test_fusion_weight_positive_adi () =
+  let p = adi_program () in
+  let l = List.hd (Program.top_loops p) in
+  match Loop.inner_loops l with
+  | [ k1; k2 ] ->
+    let w =
+      C.Fusion.weight ~cls:4 ~outer:[ l.Loop.header ] k1 k2 ~depth:1
+    in
+    checkb "fusing ADI K loops is profitable" true
+      (Poly.compare_dominant w Poly.zero > 0)
+  | _ -> Alcotest.fail "expected two K loops"
+
+let test_fusion_illegal_reversal () =
+  (* l1 reads B(K+1) which l2 writes: fusing would reverse the
+     dependence (l2's write at iteration k precedes l1's read at k+1...
+     actually the read of B(K+1) at iteration k must see the ORIGINAL
+     value, but after fusion l2 writes B(K+1) at iteration k+1 AFTER the
+     read — check the true reversal case: l1 reads ahead of l2's write. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "nofuse" ~params:[ ("N", 8) ]
+      ~arrays:[ ("X", [ nn ]); ("B", [ nn ]) ]
+      [
+        do_ "K" (i 1) (nn -$ i 1)
+          [ asn ~label:"F1" (r "X" [ v "K" ]) (ld "B" [ v "K" +$ i 1 ]) ];
+        do_ "K" (i 1) (nn -$ i 1)
+          [ asn ~label:"F2" (r "B" [ v "K" ]) (ld "X" [ v "K" ] *! f 2.0) ];
+      ]
+  in
+  match Program.top_loops p with
+  | [ l1; l2 ] ->
+    (* F1 at k reads B(k+1); F2 at k+1 writes B(k+1). Fused, iteration
+       k+1's F2 write would come after iteration k's F1 read — preserved?
+       Original: ALL reads before ALL writes. Fused: F1(k) reads B(k+1),
+       F2(k+1) writes it later: read still before write. But F2(k) writes
+       B(k), F1(k') never reads B(k) for k' > k... Check what the
+       implementation decides and that it matches dependence reversal:
+       anti dep F1 -> F2 with distance +1 stays forward. Legal. *)
+    checkb "anti dep distance +1 stays legal" true
+      (C.Fusion.legal ~outer:[] l1 l2 ~depth:1)
+  | _ -> Alcotest.fail "expected two loops"
+
+let test_fusion_truly_illegal () =
+  (* l1 writes X(K); l2 reads X(K+1): flow dep from l1's iteration k+1 to
+     l2's iteration k. Fused, l2 at iteration k would read X(k+1) BEFORE
+     l1 writes it at iteration k+1 — reversed, illegal. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "nofuse2" ~params:[ ("N", 8) ]
+      ~arrays:[ ("X", [ nn ]); ("Y", [ nn ]) ]
+      [
+        do_ "K" (i 1) (nn -$ i 1)
+          [ asn ~label:"G1" (r "X" [ v "K" ]) (f 1.0) ];
+        do_ "K" (i 1) (nn -$ i 1)
+          [ asn ~label:"G2" (r "Y" [ v "K" ]) (ld "X" [ v "K" +$ i 1 ]) ];
+      ]
+  in
+  match Program.top_loops p with
+  | [ l1; l2 ] ->
+    checkb "flow dep reversed: illegal" false
+      (C.Fusion.legal ~outer:[] l1 l2 ~depth:1)
+  | _ -> Alcotest.fail "expected two loops"
+
+let test_fuse_block_counts () =
+  (* Two compatible nests sharing array B fuse; an incompatible third
+     remains. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "fb" ~params:[ ("N", 16) ]
+      ~arrays:[ ("X", [ nn; nn ]); ("Y", [ nn; nn ]); ("B", [ nn; nn ]); ("Z", [ nn; i 8 ]) ]
+      [
+        do_ "J" (i 1) nn
+          [ do_ "I" (i 1) nn [ asn (r "X" [ v "I"; v "J" ]) (ld "B" [ v "I"; v "J" ]) ] ];
+        do_ "J" (i 1) nn
+          [ do_ "I" (i 1) nn [ asn (r "Y" [ v "I"; v "J" ]) (ld "B" [ v "I"; v "J" ] *! f 2.0) ] ];
+        do_ "J" (i 1) (i 8)
+          [ do_ "I" (i 1) nn [ asn (r "Z" [ v "I"; v "J" ]) (f 0.0) ] ];
+      ]
+  in
+  let res = C.Fusion.fuse_block ~cls:4 ~outer:[] p.Program.body in
+  checki "one fusion" 1 res.C.Fusion.fused;
+  checki "two nests remain" 2 (List.length res.C.Fusion.block)
+
+(* -------------------------------------------------------- Distribution *)
+
+let test_distribution_cholesky () =
+  let p = cholesky_program () in
+  let l = List.hd (Program.top_loops p) in
+  match C.Distribution.run ~cls:4 l with
+  | None -> Alcotest.fail "cholesky should distribute"
+  | Some res ->
+    checki "level 2" 2 res.C.Distribution.level;
+    checki "two partitions" 2 res.C.Distribution.partitions;
+    checkb "improved" true res.C.Distribution.improved;
+    (match res.C.Distribution.nests with
+    | [ nest ] ->
+      let s = Pretty.block_to_string [ Loop.Loop nest ] in
+      checkb "J now outer of S3 nest" true (contains s "DO J = K+1, N");
+      checkb "I inner triangular" true (contains s "DO I = J, N")
+    | _ -> Alcotest.fail "expected one top-level nest")
+
+let test_distribution_none_for_single_partition () =
+  (* A recurrence binding both statements prevents distribution. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "nodist" ~params:[ ("N", 16) ]
+      ~arrays:[ ("X", [ nn; nn ]); ("Y", [ nn; nn ]) ]
+      [
+        do_ "I" (i 2) nn
+          [
+            do_ "J" (i 2) nn
+              [
+                asn ~label:"D1" (r "X" [ v "J"; v "I" ]) (ld "Y" [ v "J"; v "I" -$ i 1 ]);
+                asn ~label:"D2" (r "Y" [ v "J"; v "I" ]) (ld "X" [ v "J" -$ i 1; v "I" ] +! f 1.0);
+              ];
+          ];
+      ]
+  in
+  let l = List.hd (Program.top_loops p) in
+  (* The X/Y recurrence is carried at level 1: splitting the outer loop
+     is impossible (one partition), while splitting the inner J loop is
+     allowed because the level-1-carried dependence is satisfied by the
+     shared outer iterations. *)
+  checkb "level-1 split blocked" true (C.Distribution.partitions_at l ~level:1 = None);
+  match C.Distribution.partitions_at l ~level:2 with
+  | Some parts -> checki "level-2 split allowed" 2 (List.length parts)
+  | None -> Alcotest.fail "expected level-2 partitions"
+
+(* ------------------------------------------------------------ Compound *)
+
+let test_compound_adi () =
+  let p = adi_program () in
+  let p', stats = C.Compound.run_program ~cls:4 p in
+  let s = Pretty.program_to_string p' in
+  checkb "K becomes outer" true (contains s "DO K = 1, N");
+  checkb "single fused nest" true
+    (List.length (Program.top_loops p') = 1);
+  let st = List.hd stats.C.Compound.nests in
+  checkb "fusion enabled permutation" true st.C.Compound.fused_enabling;
+  checkb "final inner ok" true st.C.Compound.final_inner_ok;
+  (* Statement order preserved. *)
+  let nest = List.hd (Program.top_loops p') in
+  (match Loop.statements nest with
+  | [ a; b ] ->
+    checks "S1 first" "S1" a.Stmt.label;
+    checks "S2 second" "S2" b.Stmt.label
+  | _ -> Alcotest.fail "expected 2 stmts")
+
+let test_compound_cholesky () =
+  let p = cholesky_program () in
+  let p', stats = C.Compound.run_program ~cls:4 p in
+  let s = Pretty.program_to_string p' in
+  checkb "distributed + interchanged" true (contains s "DO I = J, N");
+  checki "one distribution" 1 stats.C.Compound.distributions;
+  let st = List.hd stats.C.Compound.nests in
+  checkb "distribution recorded" true st.C.Compound.distributed;
+  checkb "final inner ok" true st.C.Compound.final_inner_ok;
+  checkb "final cost equals ideal" true
+    (Poly.equal st.C.Compound.cost_final st.C.Compound.cost_ideal)
+
+let test_compound_matmul_speedup_cost () =
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "mm" ~params:[ ("N", 64) ]
+      ~arrays:[ ("A", [ nn; nn ]); ("B", [ nn; nn ]); ("C", [ nn; nn ]) ]
+      [
+        do_ "I" (i 1) nn
+          [
+            do_ "J" (i 1) nn
+              [
+                do_ "K" (i 1) nn
+                  [
+                    asn
+                      (r "C" [ v "I"; v "J" ])
+                      (ld "C" [ v "I"; v "J" ]
+                      +! (ld "A" [ v "I"; v "K" ] *! ld "B" [ v "K"; v "J" ]));
+                  ];
+              ];
+          ];
+      ]
+  in
+  let p', stats = C.Compound.run_program ~cls:4 p in
+  let nest = List.hd (Program.top_loops p') in
+  checks "JKI order" "J K I"
+    (String.concat " "
+       (List.map (fun (h : Loop.header) -> h.Loop.index) (Loop.loops_on_spine nest)));
+  let st = List.hd stats.C.Compound.nests in
+  checkb "cost strictly improved" true
+    (Poly.compare_dominant st.C.Compound.cost_final st.C.Compound.cost_orig < 0)
+
+let test_compound_already_optimal_untouched () =
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "opt" ~params:[ ("N", 16) ]
+      ~arrays:[ ("A", [ nn; nn ]) ]
+      [
+        do_ "J" (i 1) nn
+          [ do_ "I" (i 1) nn [ asn (r "A" [ v "I"; v "J" ]) (f 1.0) ] ];
+      ]
+  in
+  let p', stats = C.Compound.run_program ~cls:4 p in
+  let st = List.hd stats.C.Compound.nests in
+  checkb "originally in memory order" true st.C.Compound.orig_mem_order;
+  checkb "not permuted" false st.C.Compound.permuted;
+  checks "unchanged text" (Pretty.program_to_string p) (Pretty.program_to_string p')
+
+let test_compound_timestep_recursion () =
+  (* A sequential time loop carrying a recurrence wraps an optimizable
+     nest: compound must recurse and fix the inner nest. *)
+  let open Builder in
+  let nn = v "N" in
+  let p =
+    program "time" ~params:[ ("N", 16) ]
+      ~arrays:[ ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+      [
+        do_ "T" (i 1) (i 10)
+          [
+            do_ "I" (i 1) nn
+              [
+                do_ "J" (i 1) nn
+                  [
+                    asn ~label:"T1"
+                      (r "A" [ v "I"; v "J" ])
+                      (ld "A" [ v "I"; v "J" ] +! ld "B" [ v "J"; v "I" ]);
+                  ];
+              ];
+          ];
+      ]
+  in
+  let p', _stats = C.Compound.run_program ~cls:4 p in
+  let s = Pretty.program_to_string p' in
+  (* The I/J nest prefers J outer (A column-major, first subscript I
+     consecutive... A(I,J): I consecutive; B(J,I): J consecutive. Tie
+     broken by total cost: check the nest was reordered inside T. *)
+  checkb "T remains outermost" true (contains s "DO T = 1, 10");
+  checkb "program still has depth-3 structure" true (contains s "DO I")
+
+let test_interference_limit_guard () =
+  (* swm's three sweeps fuse by default (6 arrays in one body); with an
+     interference limit of 4 (cache1's associativity) the fusion is
+     refused and the program keeps its three nests. *)
+  let p = Locality_suite.Kernels.shallow_water 12 in
+  let _, st = C.Compound.run_program ~cls:4 p in
+  checkb "fuses without guard" true (st.C.Compound.fusions_applied >= 1);
+  let p4, st4 = C.Compound.run_program ~cls:4 ~interference_limit:4 p in
+  checkb "guard refuses the 6-array fusion" true
+    (st4.C.Compound.fusions_applied < st.C.Compound.fusions_applied);
+  checkb "guarded output preserved" true (Exec.equivalent p p4);
+  (* The guard must not block small fusions: ADI still fuses cleanly
+     (the compound path for ADI is enabling fusion, which the guard does
+     not govern; the erlebacher distributed version exercises the final
+     pass instead). *)
+  let e = Locality_suite.Kernels.erlebacher_distributed 8 in
+  let _, ste = C.Compound.run_program ~cls:4 ~interference_limit:4 e in
+  checkb "4-array fusion still allowed" true (ste.C.Compound.fusions_applied >= 1)
+
+let suite =
+  [
+    ("interference limit guard", `Quick, test_interference_limit_guard);
+    ("fusion compatible level", `Quick, test_fusion_compatible_level);
+    ("fusion incompatible headers", `Quick, test_fusion_incompatible);
+    ("fuse all inner (ADI)", `Quick, test_fuse_all_inner_adi);
+    ("fusion weight positive (ADI)", `Quick, test_fusion_weight_positive_adi);
+    ("fusion legality: forward anti dep", `Quick, test_fusion_illegal_reversal);
+    ("fusion legality: reversed flow dep", `Quick, test_fusion_truly_illegal);
+    ("fuse_block counts", `Quick, test_fuse_block_counts);
+    ("distribution cholesky", `Quick, test_distribution_cholesky);
+    ("distribution blocked by recurrence", `Quick, test_distribution_none_for_single_partition);
+    ("compound ADI = Figure 3", `Quick, test_compound_adi);
+    ("compound cholesky = Figure 7", `Quick, test_compound_cholesky);
+    ("compound matmul permutes to JKI", `Quick, test_compound_matmul_speedup_cost);
+    ("compound leaves optimal nests alone", `Quick, test_compound_already_optimal_untouched);
+    ("compound recurses under time loop", `Quick, test_compound_timestep_recursion);
+  ]
