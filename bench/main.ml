@@ -4,13 +4,18 @@
    of the paper's execution-time measurements.
 
    Usage:
-     main.exe              run every table and figure
-     main.exe <id> ...     run selected: fig2 fig3 fig7 table1 table2
-                           table3 table4 table5 fig8 fig9
-     main.exe bechamel     run the Bechamel wall-clock benchmarks
-     main.exe csv DIR      export tables 2/3/4 as CSV into DIR *)
+     main.exe [-j N]           run every table and figure
+     main.exe [-j N] <id> ...  run selected: fig2 fig3 fig7 table1 table2
+                               table3 table4 table5 fig8 fig9
+     main.exe bechamel         run the Bechamel wall-clock benchmarks
+     main.exe csv DIR          export tables 2/3/4 as CSV into DIR
+
+   Experiments are independent string-producing jobs, so they run on the
+   domain pool ([-j N] or MEMORIA_JOBS, sequential at 1) and print in
+   list order. *)
 
 module Stats = Locality_stats
+module Pool = Locality_par.Pool
 
 let table2_rows = lazy (Stats.Table2.compute ())
 
@@ -361,25 +366,60 @@ let bechamel () =
       | _ -> Printf.printf "%-45s %16s\n" name "n/a")
     (List.sort compare !entries)
 
+(* Experiments that read [table2_rows]. Before running experiments in
+   parallel the lazy is forced once up front: concurrent Lazy.force from
+   several domains raises, and the rows are wanted by many consumers. *)
+let needs_table2 = [ "table2"; "table4"; "table5"; "fig8"; "fig9" ]
+
+let run_experiments ~jobs selected =
+  if
+    jobs > 1
+    && List.exists (fun (name, _) -> List.mem name needs_table2) selected
+  then ignore (Lazy.force table2_rows);
+  let rendered = Pool.map ~jobs (fun (name, f) -> (name, f ())) selected in
+  List.iter
+    (fun (name, out) -> Printf.printf "\n##### %s #####\n\n%s%!" name out)
+    rendered
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Strip -j/--jobs N anywhere on the command line. *)
+  let jobs = ref None in
+  let rec strip = function
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := Some j;
+        strip rest
+      | _ ->
+        Printf.eprintf "bad -j value %s (want a positive integer)\n" n;
+        exit 1)
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "-j needs a value\n";
+      exit 1
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let args = strip args in
+  let jobs = match !jobs with Some j -> j | None -> Pool.default_jobs () in
   match args with
   | [ "bechamel" ] -> bechamel ()
   | [ "csv"; dir ] ->
     Stats.Csv.write_all ~dir (Lazy.force table2_rows);
     Printf.printf "wrote table2.csv, table3.csv, table4.csv to %s\n" dir
   | [] | [ "all" ] ->
-    List.iter
-      (fun (name, f) -> Printf.printf "\n##### %s #####\n\n%s%!" name (f ()))
-      experiments;
+    run_experiments ~jobs experiments;
     Printf.printf "\n(run `main.exe bechamel` for native wall-clock benchmarks)\n"
   | names ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f -> Printf.printf "\n##### %s #####\n\n%s%!" name (f ())
-        | None ->
-          Printf.eprintf "unknown experiment %s (known: %s, bechamel)\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 1)
-      names
+    let selected =
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s (known: %s, bechamel)\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 1)
+        names
+    in
+    run_experiments ~jobs selected

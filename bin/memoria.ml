@@ -409,6 +409,51 @@ let kernels_cmd =
     (Cmd.info "kernels" ~doc:"List built-in kernels usable with --kernel.")
     Term.(const run $ const ())
 
+let suite_cmd =
+  let run cls n jobs =
+    let n = Option.value n ~default:64 in
+    let module Pool = Locality_par.Pool in
+    let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+    let rows =
+      Pool.map ~jobs
+        (fun (name, mk) ->
+          let p = mk n in
+          let p', _ = Core.Compound.run_program ~cls p in
+          match
+            Interp.Measure.speedup_configs
+              ~configs:[ Machine.cache1; Machine.cache2 ]
+              p p'
+          with
+          | [ (sp1, r1, r1'); (sp2, _, _) ] ->
+            Printf.sprintf "%-16s %10.4f %10.4f %9.2fx %9.2fx" name
+              r1.Interp.Measure.seconds r1'.Interp.Measure.seconds sp1 sp2
+          | _ -> assert false)
+        Suite.Kernels.all
+    in
+    Printf.printf "; n=%d cls=%d jobs=%d (each kernel interpreted once per \
+                   version, traces replayed on both caches)\n"
+      n cls jobs;
+    Printf.printf "%-16s %10s %10s %10s %10s\n" "kernel" "orig(s)" "opt(s)"
+      "speedup1" "speedup2";
+    List.iter print_endline rows
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size for per-kernel simulations (default: \
+             $(b,MEMORIA_JOBS) or the recommended domain count; 1 = \
+             sequential).")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Optimize and simulate every built-in kernel in parallel, printing \
+          modelled speedups on both cache geometries.")
+    Term.(const run $ cls_arg $ n_arg $ jobs_arg)
+
 let main =
   Cmd.group
     (Cmd.info "memoria" ~version:"1.0.0"
@@ -417,7 +462,7 @@ let main =
           McKinley & Tseng, ASPLOS 1994).")
     [
       opt_cmd; cost_cmd; deps_cmd; sim_cmd; tile_cmd; unroll_cmd; cgen_cmd;
-      kernels_cmd;
+      kernels_cmd; suite_cmd;
     ]
 
 let () = exit (Cmd.eval main)

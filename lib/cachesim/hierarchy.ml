@@ -45,6 +45,16 @@ let access t ?(write = false) addr =
       t.memory <- t.memory + 1;
       `Memory)
 
+(* Chunk replay: one [access] per packed record, in order. Identical
+   statistics to feeding the trace through an observer, without the
+   per-access closure. *)
+let simulate_chunk t (c : Chunk.t) =
+  let data = c.Chunk.data in
+  for i = 0 to c.Chunk.len - 1 do
+    let r = Array.unsafe_get data i in
+    ignore (access t ~write:(Chunk.write r) (Chunk.addr r))
+  done
+
 let l1_stats t = Cache.stats t.l1
 let l2_stats t = Cache.stats t.l2
 let writebacks t = t.writebacks

@@ -14,6 +14,10 @@ val create : l1:Cache.config -> l2:Cache.config -> t
 val access : t -> ?write:bool -> int -> [ `L1_hit | `L2_hit | `Memory ]
 (** Where the access was satisfied. *)
 
+val simulate_chunk : t -> Chunk.t -> unit
+(** Replay a chunk of packed trace records, one {!access} per record in
+    order; statistics are identical to the per-access path. *)
+
 val l1_stats : t -> Cache.stats
 val l2_stats : t -> Cache.stats
 val writebacks : t -> int

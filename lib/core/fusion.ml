@@ -21,7 +21,9 @@ let compatible_level l1 l2 =
   in
   go l1 l2
 
-let fresh_counter = ref 0
+(* Atomic: fusion may run concurrently from several domains when table
+   rows are computed in parallel. *)
+let fresh_counter = Atomic.make 0
 
 (* Substitute an index variable in every statement and loop bound of a
    subtree, renaming any loop that binds it. *)
@@ -59,8 +61,7 @@ let align_indices (l1 : Loop.t) (l2 : Loop.t) ~depth =
   if froms = targets then l2
   else begin
     let fresh base =
-      incr fresh_counter;
-      Printf.sprintf "%s_f%d" base !fresh_counter
+      Printf.sprintf "%s_f%d" base (Atomic.fetch_and_add fresh_counter 1 + 1)
     in
     (* Step 1: spine indices to temporaries. *)
     let temps = List.map fresh froms in

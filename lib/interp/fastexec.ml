@@ -15,13 +15,12 @@ type ctx = {
   mutable iterations : int;
 }
 
-(* Slot allocation for integer variables (params + indices) and scalars. *)
-type slots = {
-  mutable names : string list;
-  tbl : (string, int) Hashtbl.t;
-}
+(* Slot allocation for integer variables (params + indices) and scalars.
+   The table alone carries the name-to-slot mapping; nothing needs the
+   names back in order. *)
+type slots = { tbl : (string, int) Hashtbl.t }
 
-let new_slots () = { names = []; tbl = Hashtbl.create 16 }
+let new_slots () = { tbl = Hashtbl.create 16 }
 
 let slot_of s name =
   match Hashtbl.find_opt s.tbl name with
@@ -29,7 +28,6 @@ let slot_of s name =
   | None ->
     let i = Hashtbl.length s.tbl in
     Hashtbl.replace s.tbl name i;
-    s.names <- s.names @ [ name ];
     i
 
 let rec compile_expr slots (e : Expr.t) : ctx -> int =
@@ -62,8 +60,13 @@ let rec compile_expr slots (e : Expr.t) : ctx -> int =
       let d = fb c in
       if d = 0 then invalid_arg "Fastexec: division by zero" else fa c / d
 
-let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
-    (p : Program.t) =
+(* How the compiled program reports array accesses: not at all, through
+   the legacy per-access observer closure, or appended to a batched trace
+   buffer (label ids interned once at compile time, so the hot path is a
+   couple of array stores). *)
+type mode = Silent | Observe of Exec.observer | Buffer of Trace.t
+
+let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
   let params =
     match params with
     | Some overrides ->
@@ -102,7 +105,6 @@ let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
       let elem = Layout.elem_size layout d.Decl.name in
       Hashtbl.replace strides d.Decl.name (s, base, elem))
     p.Program.decls;
-  let has_observer = observer != Exec.null_observer in
   (* Compile a reference into an (offset, address) pair of closures. *)
   let compile_access (r : Reference.t) =
     let arr = Hashtbl.find data r.Reference.array in
@@ -127,16 +129,27 @@ let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
     | Stmt.Iexpr ie ->
       let f = compile_expr slots ie in
       fun c -> float_of_int (f c)
-    | Stmt.Load r ->
+    | Stmt.Load r -> (
       let arr, offset, base, elem = compile_access r in
-      if has_observer then (fun c ->
-        let off = offset c in
-        c.accesses <- c.accesses + 1;
-        observer.Exec.on_access ~label ~addr:(base + (off * elem)) ~write:false;
-        Array.get arr off)
-      else fun c ->
-        c.accesses <- c.accesses + 1;
-        Array.get arr (offset c)
+      match mode with
+      | Observe observer ->
+        fun c ->
+          let off = offset c in
+          c.accesses <- c.accesses + 1;
+          observer.Exec.on_access ~label ~addr:(base + (off * elem))
+            ~write:false;
+          Array.get arr off
+      | Buffer tr ->
+        let lid = Trace.intern tr label in
+        fun c ->
+          let off = offset c in
+          c.accesses <- c.accesses + 1;
+          Trace.record tr ~label:lid ~addr:(base + (off * elem)) ~write:false;
+          Array.get arr off
+      | Silent ->
+        fun c ->
+          c.accesses <- c.accesses + 1;
+          Array.get arr (offset c))
     | Stmt.Unop (op, a) ->
       let fa = compile_rexpr label a in
       let g =
@@ -173,30 +186,46 @@ let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
     let label = st.Stmt.label in
     let rhs = compile_rexpr label st.Stmt.rhs in
     match st.Stmt.lhs with
-    | Stmt.Store r ->
+    | Stmt.Store r -> (
       let arr, offset, base, elem = compile_access r in
-      if has_observer then (fun c ->
-        c.iterations <- c.iterations + 1;
-        observer.Exec.on_stmt ~label;
-        let v = rhs c in
-        let off = offset c in
-        c.accesses <- c.accesses + 1;
-        observer.Exec.on_access ~label ~addr:(base + (off * elem)) ~write:true;
-        Array.set arr off v)
-      else fun c ->
-        c.iterations <- c.iterations + 1;
-        let v = rhs c in
-        c.accesses <- c.accesses + 1;
-        Array.set arr (offset c) v
-    | Stmt.Scalar_set x ->
+      match mode with
+      | Observe observer ->
+        fun c ->
+          c.iterations <- c.iterations + 1;
+          observer.Exec.on_stmt ~label;
+          let v = rhs c in
+          let off = offset c in
+          c.accesses <- c.accesses + 1;
+          observer.Exec.on_access ~label ~addr:(base + (off * elem))
+            ~write:true;
+          Array.set arr off v
+      | Buffer tr ->
+        let lid = Trace.intern tr label in
+        fun c ->
+          c.iterations <- c.iterations + 1;
+          let v = rhs c in
+          let off = offset c in
+          c.accesses <- c.accesses + 1;
+          Trace.record tr ~label:lid ~addr:(base + (off * elem)) ~write:true;
+          Array.set arr off v
+      | Silent ->
+        fun c ->
+          c.iterations <- c.iterations + 1;
+          let v = rhs c in
+          c.accesses <- c.accesses + 1;
+          Array.set arr (offset c) v)
+    | Stmt.Scalar_set x -> (
       let i = slot_of sslots x in
-      if has_observer then (fun c ->
-        c.iterations <- c.iterations + 1;
-        observer.Exec.on_stmt ~label;
-        c.scalars.(i) <- rhs c)
-      else fun c ->
-        c.iterations <- c.iterations + 1;
-        c.scalars.(i) <- rhs c
+      match mode with
+      | Observe observer ->
+        fun c ->
+          c.iterations <- c.iterations + 1;
+          observer.Exec.on_stmt ~label;
+          c.scalars.(i) <- rhs c
+      | Buffer _ | Silent ->
+        fun c ->
+          c.iterations <- c.iterations + 1;
+          c.scalars.(i) <- rhs c)
   in
   let rec compile_block (b : Loop.block) : ctx -> unit =
     let fns =
@@ -249,6 +278,7 @@ let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
   in
   List.iter (fun (x, v) -> ctx.ienv.(Hashtbl.find slots.tbl x) <- v) params;
   main ctx;
+  (match mode with Buffer tr -> Trace.flush tr | Observe _ | Silent -> ());
   {
     arrays =
       List.map
@@ -258,3 +288,11 @@ let run ?(observer = Exec.null_observer) ?(init = Exec.default_init) ?params
     accesses = ctx.accesses;
     iterations = ctx.iterations;
   }
+
+let run ?(observer = Exec.null_observer) ?init ?params p =
+  let mode =
+    if observer == Exec.null_observer then Silent else Observe observer
+  in
+  exec ~mode ?init ?params p
+
+let run_traced ?init ?params tr p = exec ~mode:(Buffer tr) ?init ?params p

@@ -18,3 +18,14 @@ val run :
   Program.t ->
   result
 (** Drop-in equivalent of {!Exec.run}. *)
+
+val run_traced :
+  ?init:(string -> int -> float) ->
+  ?params:(string * int) list ->
+  Trace.t ->
+  Program.t ->
+  result
+(** Like {!run}, but every array access is appended to the given trace
+    buffer instead of dispatched through an observer closure: statement
+    labels are interned once at compile time, so the per-access cost is
+    a packed-record store. The buffer is flushed before returning. *)

@@ -19,45 +19,62 @@ let hit_rate ?(exclude_cold = true) r =
   let denom = if exclude_cold then r.accesses - r.cold else r.accesses in
   if denom <= 0 then 100.0 else 100.0 *. float_of_int r.hits /. float_of_int denom
 
-let measure ?(config = Machine.cache1) ?(timing = Machine.default_timing)
-    ?(optimized_labels = []) ?params (p : Program.t) =
+(* ------------------------------------------------- capture / replay --- *)
+
+(* A program is interpreted once into a batched trace; the trace is then
+   replayed against any number of cache configurations. Replay is
+   deterministic (the simulator is a pure function of the record
+   sequence), so every replay of the same capture agrees bit-for-bit
+   with the legacy interpret-per-config path. *)
+
+type capture = {
+  trace : Trace.captured;
+  cap_ops : int;
+}
+
+let capture ?params (p : Program.t) =
+  let tr, finish = Trace.capturing () in
+  let res = Fastexec.run_traced ?params tr p in
+  { trace = finish (); cap_ops = res.Fastexec.ops }
+
+let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
+    ?(optimized_labels = []) cap =
   let cache = Cache.create config in
-  let opt = Hashtbl.create 16 in
-  List.iter (fun l -> Hashtbl.replace opt l ()) optimized_labels;
-  let w_acc = ref 0 and w_hit = ref 0 and w_cold = ref 0 in
-  let o_acc = ref 0 and o_hit = ref 0 and o_cold = ref 0 in
-  let observer =
+  let marked =
+    Array.map
+      (fun l -> List.mem l optimized_labels)
+      cap.trace.Trace.trace_labels
+  in
+  let reg = Cache.fresh_region () in
+  Trace.iter_chunks cap.trace (fun c ->
+      Cache.simulate_chunk cache ~marked ~region:reg c);
+  let s = Cache.stats cache in
+  let whole =
     {
-      Exec.on_access =
-        (fun ~label ~addr ~write:_ ->
-          let cls = Cache.access_classified cache addr in
-          let in_opt = Hashtbl.mem opt label in
-          incr w_acc;
-          if in_opt then incr o_acc;
-          (match cls with
-          | `Hit ->
-            incr w_hit;
-            if in_opt then incr o_hit
-          | `Cold ->
-            incr w_cold;
-            if in_opt then incr o_cold
-          | `Miss -> ()));
-      on_stmt = (fun ~label:_ -> ());
+      accesses = s.Cache.accesses;
+      hits = s.Cache.hits;
+      cold = s.Cache.cold_misses;
     }
   in
-  let res = Fastexec.run ~observer ?params p in
-  let whole = { accesses = !w_acc; hits = !w_hit; cold = !w_cold } in
-  let optimized = { accesses = !o_acc; hits = !o_hit; cold = !o_cold } in
+  let optimized =
+    {
+      accesses = reg.Cache.r_accesses;
+      hits = reg.Cache.r_hits;
+      cold = reg.Cache.r_cold;
+    }
+  in
   let misses = whole.accesses - whole.hits in
-  let ops = res.Fastexec.ops in
-  let cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses in
+  let ops = cap.cap_ops in
   {
     whole;
     optimized;
     ops;
-    cycles;
+    cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses;
     seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
   }
+
+let measure ?config ?timing ?optimized_labels ?params (p : Program.t) =
+  replay ?config ?timing ?optimized_labels (capture ?params p)
 
 type hier_run = {
   l1_rate : float;
@@ -66,18 +83,10 @@ type hier_run = {
   hier_writebacks : int;
 }
 
-let measure_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) ?params
-    (p : Program.t) =
+let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) cap =
   let module H = Locality_cachesim.Hierarchy in
   let h = H.create ~l1 ~l2 in
-  let observer =
-    {
-      Exec.on_access =
-        (fun ~label:_ ~addr ~write -> ignore (H.access h ~write addr));
-      on_stmt = (fun ~label:_ -> ());
-    }
-  in
-  ignore (Fastexec.run ~observer ?params p);
+  Trace.iter_chunks cap.trace (fun c -> H.simulate_chunk h c);
   {
     l1_rate = Cache.hit_rate (H.l1_stats h);
     l2_rate = Cache.hit_rate (H.l2_stats h);
@@ -85,7 +94,22 @@ let measure_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) ?params
     hier_writebacks = H.writebacks h;
   }
 
+let measure_hierarchy ?l1 ?l2 ?params (p : Program.t) =
+  replay_hierarchy ?l1 ?l2 (capture ?params p)
+
 let speedup ?config ?timing ?params original transformed =
-  let r1 = measure ?config ?timing ?params original in
-  let r2 = measure ?config ?timing ?params transformed in
+  let c1 = capture ?params original in
+  let c2 = capture ?params transformed in
+  let r1 = replay ?config ?timing c1 in
+  let r2 = replay ?config ?timing c2 in
   (r1.cycles /. r2.cycles, r1, r2)
+
+let speedup_configs ?timing ?params ~configs original transformed =
+  let c1 = capture ?params original in
+  let c2 = capture ?params transformed in
+  List.map
+    (fun config ->
+      let r1 = replay ~config ?timing c1 in
+      let r2 = replay ~config ?timing c2 in
+      (r1.cycles /. r2.cycles, r1, r2))
+    configs

@@ -24,6 +24,22 @@ val hit_rate : ?exclude_cold:bool -> region -> float
 (** In percent; cold misses excluded from the denominator by default, as
     in Table 4. 100.0 when no qualifying accesses. *)
 
+type capture
+(** A program's batched address trace plus its operation count: the
+    program is interpreted once ({!capture}) and the trace replayed
+    against any number of cache configurations ({!replay},
+    {!replay_hierarchy}). Replay statistics are bit-identical to the
+    legacy interpret-per-config observer path. *)
+
+val capture : ?params:(string * int) list -> Program.t -> capture
+
+val replay :
+  ?config:Cache.config ->
+  ?timing:Machine.timing ->
+  ?optimized_labels:string list ->
+  capture ->
+  run
+
 val measure :
   ?config:Cache.config ->
   ?timing:Machine.timing ->
@@ -38,6 +54,9 @@ type hier_run = {
   amat : float;  (** average memory access time, cycles *)
   hier_writebacks : int;
 }
+
+val replay_hierarchy :
+  ?l1:Cache.config -> ?l2:Cache.config -> capture -> hier_run
 
 val measure_hierarchy :
   ?l1:Cache.config ->
@@ -56,4 +75,16 @@ val speedup :
   Program.t ->
   float * run * run
 (** [speedup original transformed] is the ratio of modelled execution
-    times, original over transformed, with both runs. *)
+    times, original over transformed, with both runs. Each program is
+    interpreted once; both runs replay the captured traces. *)
+
+val speedup_configs :
+  ?timing:Machine.timing ->
+  ?params:(string * int) list ->
+  configs:Cache.config list ->
+  Program.t ->
+  Program.t ->
+  (float * run * run) list
+(** {!speedup} for several cache configurations at once, interpreting
+    each program a single time and replaying its trace per config — the
+    Table 3 / Table 4 access pattern. *)

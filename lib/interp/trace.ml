@@ -1,0 +1,81 @@
+module Chunk = Locality_cachesim.Chunk
+
+let default_chunk_records = 65536
+
+type t = {
+  cap : int;
+  mutable chunk : Chunk.t;
+  sink : Chunk.t -> unit;
+  tbl : (string, int) Hashtbl.t;
+  mutable rev_labels : string list;  (* interned labels, newest first *)
+  mutable nlabels : int;
+  mutable total : int;
+}
+
+let create ?(chunk_records = default_chunk_records) ~sink () =
+  {
+    cap = chunk_records;
+    chunk = Chunk.create chunk_records;
+    sink;
+    tbl = Hashtbl.create 64;
+    rev_labels = [];
+    nlabels = 0;
+    total = 0;
+  }
+
+let intern t label =
+  match Hashtbl.find_opt t.tbl label with
+  | Some id -> id
+  | None ->
+    let id = t.nlabels in
+    if id > Chunk.max_label then
+      invalid_arg "Trace.intern: too many distinct labels";
+    Hashtbl.replace t.tbl label id;
+    t.rev_labels <- label :: t.rev_labels;
+    t.nlabels <- t.nlabels + 1;
+    id
+
+let labels t =
+  let a = Array.make t.nlabels "" in
+  List.iteri (fun i l -> a.(t.nlabels - 1 - i) <- l) t.rev_labels;
+  a
+
+let flush t =
+  if t.chunk.Chunk.len > 0 then begin
+    t.sink t.chunk;
+    Chunk.reset t.chunk
+  end
+
+let record t ~label ~addr ~write =
+  if Chunk.is_full t.chunk then flush t;
+  Chunk.push t.chunk (Chunk.pack ~addr ~write ~label);
+  t.total <- t.total + 1
+
+let total t = t.total
+
+let observer t =
+  {
+    Exec.on_access =
+      (fun ~label ~addr ~write -> record t ~label:(intern t label) ~addr ~write);
+    on_stmt = (fun ~label:_ -> ());
+  }
+
+type captured = {
+  chunks : Chunk.t list;
+  trace_labels : string array;
+  records : int;
+}
+
+let capturing ?chunk_records () =
+  let acc = ref [] in
+  let t =
+    create ?chunk_records ~sink:(fun c -> acc := Chunk.copy c :: !acc) ()
+  in
+  let finish () =
+    flush t;
+    { chunks = List.rev !acc; trace_labels = labels t; records = t.total }
+  in
+  (t, finish)
+
+let iter_chunks cap f = List.iter f cap.chunks
+let iter cap f = List.iter (Chunk.iter f) cap.chunks

@@ -12,11 +12,12 @@ type rexpr =
 type lhs = Store of Reference.t | Scalar_set of string
 type t = { label : string; lhs : lhs; rhs : rexpr }
 
-let counter = ref 0
+(* Atomic so that programs can be built from several domains at once
+   (the stats tables compute their rows in parallel); ids stay unique
+   within any one program either way. *)
+let counter = Atomic.make 0
 
-let fresh_label () =
-  incr counter;
-  Printf.sprintf "S%d" !counter
+let fresh_label () = Printf.sprintf "S%d" (Atomic.fetch_and_add counter 1 + 1)
 
 let assign ?label r e =
   let label = match label with Some l -> l | None -> fresh_label () in

@@ -1,0 +1,77 @@
+(* A small fixed-size domain pool for embarrassingly parallel work.
+
+   Work items are claimed by index from an atomic counter, and results
+   land in a slot array, so output order always matches input order no
+   matter which domain ran which item. With [jobs = 1] (or inside a
+   worker of another pool) no domain is spawned and the map degenerates
+   to the plain sequential loop, which is also the determinism baseline
+   the test suite compares against. *)
+
+let jobs_env = "MEMORIA_JOBS"
+
+let env_jobs () =
+  match Sys.getenv_opt jobs_env with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+
+let default_jobs () =
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  match env_jobs () with
+  (* Cap at the core count: extra domains on an oversubscribed machine
+     only add minor-GC synchronisation stalls. An explicit [?jobs]
+     argument is taken literally. *)
+  | Some j -> min j cores
+  | None -> min 8 cores
+
+(* Workers flag themselves so a nested [map] (e.g. Table2.compute inside
+   a parallelized bench experiment) runs sequentially instead of
+   multiplying domains. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let map_array ?jobs f items =
+  let n = Array.length items in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let work () =
+      Domain.DLS.set in_worker true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_worker false)
+        (fun () ->
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n || Atomic.get failure <> None then continue := false
+            else
+              match f items.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          done)
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f items =
+  Array.to_list (map_array ?jobs f (Array.of_list items))
+
+let map_reduce ?jobs ~map:f ~combine ~init items =
+  (* The fold is sequential and in input order, so the result is
+     independent of the pool size. *)
+  List.fold_left combine init (map ?jobs f items)

@@ -1,0 +1,36 @@
+(** A fixed-size domain pool for independent work items.
+
+    Built on OCaml 5 domains; used to run the per-program rows of the
+    evaluation tables and the experiment list of the benchmark harness
+    in parallel. Results are always delivered in input order, and with
+    [jobs = 1] the functions are plain sequential maps, so pool size
+    never changes the answer — only the wall clock.
+
+    The pool size defaults to the [MEMORIA_JOBS] environment variable
+    when set (minimum 1, capped at the machine's recommended domain
+    count — oversubscribing cores only adds GC synchronisation stalls),
+    otherwise to the recommended domain count capped at 8. An explicit
+    [?jobs] argument is taken literally. Nested calls from inside a pool
+    worker run sequentially rather than spawning further domains. *)
+
+val jobs_env : string
+(** Name of the controlling environment variable, ["MEMORIA_JOBS"]. *)
+
+val default_jobs : unit -> int
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items], computed by up to [jobs]
+    domains. An exception raised by [f] aborts the map and is re-raised
+    in the caller. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Parallel map followed by a sequential in-order fold, so the result
+    does not depend on the pool size. *)

@@ -11,6 +11,8 @@ type perf_row = {
   speedup2 : float;  (* cache2 *)
 }
 
+module Pool = Locality_par.Pool
+
 let table1 ?(n = 64) () =
   let versions =
     [
@@ -22,7 +24,7 @@ let table1 ?(n = 64) () =
   (* The hand version's stray nest is fixed by the compiler in the
      distributed version; the fused version is what Fuse produces. *)
   let rows =
-    List.map
+    Pool.map
       (fun (label, p) ->
         let r = Measure.measure ~config:Machine.cache1 p in
         [
@@ -37,44 +39,53 @@ let table1 ?(n = 64) () =
     ~note:"Paper (RS/6000): Hand .390, Distributed .400, Fused .383 s."
     [ Report.Left ] [ "Version"; "Seconds"; "Hit%" ] rows
 
+(* One compound run, one trace capture per program version, then a
+   replay per cache geometry: the seed path interpreted each program
+   four times here (two configs x two [Measure.speedup] calls). *)
 let perf_of ?(cls = 4) name (p : Program.t) =
   let p', _stats = C.Compound.run_program ~cls p in
-  let sp, r1, r2 = Measure.speedup ~config:Machine.cache1 p p' in
-  let sp2, _, _ = Measure.speedup ~config:Machine.cache2 p p' in
-  {
-    name;
-    seconds_orig = r1.Measure.seconds;
-    seconds_final = r2.Measure.seconds;
-    speedup = sp;
-    speedup2 = sp2;
-  }
+  match
+    Measure.speedup_configs ~configs:[ Machine.cache1; Machine.cache2 ] p p'
+  with
+  | [ (sp, r1, r2); (sp2, _, _) ] ->
+    {
+      name;
+      seconds_orig = r1.Measure.seconds;
+      seconds_final = r2.Measure.seconds;
+      speedup = sp;
+      speedup2 = sp2;
+    }
+  | _ -> assert false
 
-let table3_rows ?(n = 128) ?cls () =
-  [
-    perf_of ?cls "arc2d (adi kernel)" (S.Kernels.adi_fragment n);
-    perf_of ?cls "dnasa7 (gmtry)" (S.Kernels.gmtry n);
-    perf_of ?cls "dnasa7 (vpenta)" (S.Kernels.vpenta n);
-    perf_of ?cls "dnasa7 (mxm)" (S.Kernels.matmul ~order:"IJK" n);
-    perf_of ?cls "cholesky" (S.Kernels.cholesky n);
-    perf_of ?cls "lu" (S.Kernels.lu (max 16 (n / 2)));
-    perf_of ?cls "simple" (S.Kernels.simple_hydro n);
-    perf_of ?cls "jacobi2d" (S.Kernels.jacobi2d n);
-    perf_of ?cls "dnasa7 (btrix)" (S.Kernels.btrix (max 16 (n / 2)));
-    perf_of ?cls "swm256 (fragment)" (S.Kernels.shallow_water n);
-    perf_of ?cls "transpose" (S.Kernels.transpose n);
-    perf_of ?cls "erlebacher" (S.Kernels.erlebacher_hand (max 16 (n / 2)));
-    perf_of ?cls "wave (synthetic)"
-      (match S.Programs.find "wave" with
-      | Some e -> S.Programs.program_of ~n:(max 16 (n / 3)) e
-      | None -> S.Kernels.transpose n);
-    perf_of ?cls "appsp (synthetic)"
-      (match S.Programs.find "appsp" with
-      | Some e -> S.Programs.program_of ~n:(max 16 (n / 3)) e
-      | None -> S.Kernels.transpose n);
-  ]
+let table3_rows ?(n = 128) ?cls ?jobs () =
+  let kernels =
+    [
+      ("arc2d (adi kernel)", S.Kernels.adi_fragment n);
+      ("dnasa7 (gmtry)", S.Kernels.gmtry n);
+      ("dnasa7 (vpenta)", S.Kernels.vpenta n);
+      ("dnasa7 (mxm)", S.Kernels.matmul ~order:"IJK" n);
+      ("cholesky", S.Kernels.cholesky n);
+      ("lu", S.Kernels.lu (max 16 (n / 2)));
+      ("simple", S.Kernels.simple_hydro n);
+      ("jacobi2d", S.Kernels.jacobi2d n);
+      ("dnasa7 (btrix)", S.Kernels.btrix (max 16 (n / 2)));
+      ("swm256 (fragment)", S.Kernels.shallow_water n);
+      ("transpose", S.Kernels.transpose n);
+      ("erlebacher", S.Kernels.erlebacher_hand (max 16 (n / 2)));
+      ( "wave (synthetic)",
+        match S.Programs.find "wave" with
+        | Some e -> S.Programs.program_of ~n:(max 16 (n / 3)) e
+        | None -> S.Kernels.transpose n );
+      ( "appsp (synthetic)",
+        match S.Programs.find "appsp" with
+        | Some e -> S.Programs.program_of ~n:(max 16 (n / 3)) e
+        | None -> S.Kernels.transpose n );
+    ]
+  in
+  Pool.map ?jobs (fun (name, p) -> perf_of ?cls name p) kernels
 
-let table3 ?n ?cls () =
-  let rows = table3_rows ?n ?cls () in
+let table3 ?n ?cls ?jobs () =
+  let rows = table3_rows ?n ?cls ?jobs () in
   Report.render
     ~title:"Table 3: Performance Results (modelled seconds, cache1 machine)"
     ~note:
@@ -108,36 +119,46 @@ type hit_row = {
   whole2_final : float;
 }
 
-let table4_rows ?(n = 32) ?cls:_ (rows : Table2.row list) =
-  List.filter_map
-    (fun (r : Table2.row) ->
-      if r.Table2.nests = 0 then None
-      else begin
-        let labels = r.Table2.optimized_labels in
-        let run config p =
-          Measure.measure ~config ~optimized_labels:labels ~params:[ ("N", n) ] p
-        in
-        let o1 = run Machine.cache1 r.Table2.original in
-        let f1 = run Machine.cache1 r.Table2.transformed in
-        let o2 = run Machine.cache2 r.Table2.original in
-        let f2 = run Machine.cache2 r.Table2.transformed in
-        Some
-          {
-            name = r.Table2.entry.S.Programs.name;
-            opt1_orig = Measure.hit_rate o1.Measure.optimized;
-            opt1_final = Measure.hit_rate f1.Measure.optimized;
-            opt2_orig = Measure.hit_rate o2.Measure.optimized;
-            opt2_final = Measure.hit_rate f2.Measure.optimized;
-            whole1_orig = Measure.hit_rate o1.Measure.whole;
-            whole1_final = Measure.hit_rate f1.Measure.whole;
-            whole2_orig = Measure.hit_rate o2.Measure.whole;
-            whole2_final = Measure.hit_rate f2.Measure.whole;
-          }
-      end)
-    rows
+let table4_rows ?(n = 32) ?cls:_ ?jobs (rows : Table2.row list) =
+  let rows =
+    (* Interpret each program version once and replay its trace on both
+       geometries (the seed interpreted each version twice), with the
+       per-program rows simulated in parallel. *)
+    Pool.map ?jobs
+      (fun (r : Table2.row) ->
+        if r.Table2.nests = 0 then None
+        else begin
+          let labels = r.Table2.optimized_labels in
+          let orig = Measure.capture ~params:[ ("N", n) ] r.Table2.original in
+          let final =
+            Measure.capture ~params:[ ("N", n) ] r.Table2.transformed
+          in
+          let run config cap =
+            Measure.replay ~config ~optimized_labels:labels cap
+          in
+          let o1 = run Machine.cache1 orig in
+          let f1 = run Machine.cache1 final in
+          let o2 = run Machine.cache2 orig in
+          let f2 = run Machine.cache2 final in
+          Some
+            {
+              name = r.Table2.entry.S.Programs.name;
+              opt1_orig = Measure.hit_rate o1.Measure.optimized;
+              opt1_final = Measure.hit_rate f1.Measure.optimized;
+              opt2_orig = Measure.hit_rate o2.Measure.optimized;
+              opt2_final = Measure.hit_rate f2.Measure.optimized;
+              whole1_orig = Measure.hit_rate o1.Measure.whole;
+              whole1_final = Measure.hit_rate f1.Measure.whole;
+              whole2_orig = Measure.hit_rate o2.Measure.whole;
+              whole2_final = Measure.hit_rate f2.Measure.whole;
+            }
+        end)
+      rows
+  in
+  List.filter_map Fun.id rows
 
-let table4 ?n ?cls rows =
-  let hit_rows = table4_rows ?n ?cls rows in
+let table4 ?n ?cls ?jobs rows =
+  let hit_rows = table4_rows ?n ?cls ?jobs rows in
   Report.render
     ~title:"Table 4: Simulated Cache Hit Rates (cold misses excluded)"
     ~note:

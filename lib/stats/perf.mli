@@ -14,10 +14,12 @@ type perf_row = {
 val table1 : ?n:int -> unit -> string
 (** Erlebacher: hand-coded vs distributed vs fused (Section 4.3.4). *)
 
-val table3_rows : ?n:int -> ?cls:int -> unit -> perf_row list
-val table3 : ?n:int -> ?cls:int -> unit -> string
+val table3_rows : ?n:int -> ?cls:int -> ?jobs:int -> unit -> perf_row list
+val table3 : ?n:int -> ?cls:int -> ?jobs:int -> unit -> string
 (** Original vs compound-transformed modelled times for the kernels the
-    paper reports in Table 3, on the cache1 machine model. *)
+    paper reports in Table 3, on the cache1 machine model. Each program
+    version is interpreted once and its trace replayed per cache config;
+    rows are simulated in parallel on the domain pool. *)
 
 type hit_row = {
   name : string;
@@ -31,7 +33,11 @@ type hit_row = {
   whole2_final : float;
 }
 
-val table4_rows : ?n:int -> ?cls:int -> Table2.row list -> hit_row list
-val table4 : ?n:int -> ?cls:int -> Table2.row list -> string
+val table4_rows :
+  ?n:int -> ?cls:int -> ?jobs:int -> Table2.row list -> hit_row list
+
+val table4 : ?n:int -> ?cls:int -> ?jobs:int -> Table2.row list -> string
 (** Simulated hit rates (cold misses excluded) for optimized procedures
-    and whole programs, on cache1 (RS/6000) and cache2 (i860). *)
+    and whole programs, on cache1 (RS/6000) and cache2 (i860). Each
+    program version is interpreted once and its trace replayed on both
+    geometries; rows run in parallel on the domain pool. *)

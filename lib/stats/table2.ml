@@ -95,7 +95,10 @@ let compute_row ?(n = 24) ?(cls = 4) entry =
         nests;
   }
 
-let compute ?n ?cls () = List.map (compute_row ?n ?cls) S.Programs.all
+(* Rows are independent per program, so they are computed on the domain
+   pool; results come back in suite order regardless of pool size. *)
+let compute ?jobs ?n ?cls () =
+  Locality_par.Pool.map ?jobs (compute_row ?n ?cls) S.Programs.all
 
 let render rows =
   let header =

@@ -25,8 +25,10 @@ type row = {
 val count_loops : Program.t -> int
 
 val compute_row : ?n:int -> ?cls:int -> Locality_suite.Programs.entry -> row
-val compute : ?n:int -> ?cls:int -> unit -> row list
-(** All 35 programs. *)
+val compute : ?jobs:int -> ?n:int -> ?cls:int -> unit -> row list
+(** All 35 programs. Rows are computed in parallel on the domain pool
+    ([jobs] defaults to {!Locality_par.Pool.default_jobs}); the result
+    list is in suite order and identical for every pool size. *)
 
 val render : row list -> string
 

@@ -16,4 +16,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("cgen", Test_cgen.suite);
       ("units", Test_units.suite);
+      ("trace", Test_trace.suite);
     ]
