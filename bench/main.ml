@@ -16,6 +16,8 @@
 
 module Stats = Locality_stats
 module Pool = Locality_par.Pool
+module Obs = Locality_obs.Obs
+module Chrome = Locality_obs.Chrome
 
 let table2_rows = lazy (Stats.Table2.compute ())
 
@@ -376,15 +378,22 @@ let run_experiments ~jobs selected =
     jobs > 1
     && List.exists (fun (name, _) -> List.mem name needs_table2) selected
   then ignore (Lazy.force table2_rows);
-  let rendered = Pool.map ~jobs (fun (name, f) -> (name, f ())) selected in
+  let rendered =
+    Pool.map ~jobs
+      (fun (name, f) -> (name, Obs.span ("experiment:" ^ name) f))
+      selected
+  in
   List.iter
     (fun (name, out) -> Printf.printf "\n##### %s #####\n\n%s%!" name out)
     rendered
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Strip -j/--jobs N anywhere on the command line. *)
+  (* Strip -j/--jobs N and --trace FILE / --profile anywhere on the
+     command line (same convention the memoria binary uses). *)
   let jobs = ref None in
+  let trace = ref None in
+  let profile = ref false in
   let rec strip = function
     | ("-j" | "--jobs") :: n :: rest -> (
       match int_of_string_opt n with
@@ -397,11 +406,31 @@ let () =
     | [ ("-j" | "--jobs") ] ->
       Printf.eprintf "-j needs a value\n";
       exit 1
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      strip rest
+    | [ "--trace" ] ->
+      Printf.eprintf "--trace needs a FILE\n";
+      exit 1
+    | "--profile" :: rest ->
+      profile := true;
+      strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
   let args = strip args in
   let jobs = match !jobs with Some j -> j | None -> Pool.default_jobs () in
+  if !trace <> None || !profile then begin
+    Obs.set_enabled true;
+    Obs.reset ();
+    at_exit (fun () ->
+        let events = Obs.drain () in
+        Obs.set_enabled false;
+        Option.iter
+          (fun path -> Chrome.write ~path ~process_name:"bench" events)
+          !trace;
+        if !profile then prerr_string (Stats.Profile.of_events events))
+  end;
   match args with
   | [ "bechamel" ] -> bechamel ()
   | [ "csv"; dir ] ->

@@ -10,6 +10,9 @@ module Core = Locality_core
 module Suite = Locality_suite
 module Interp = Locality_interp
 module Machine = Locality_cachesim.Machine
+module Stats = Locality_stats
+module Obs = Locality_obs.Obs
+module Chrome = Locality_obs.Chrome
 open Locality_ir
 
 let read_file path =
@@ -29,7 +32,10 @@ let load ~kernel ~file ~n =
            (String.concat ", " (List.map fst Suite.Kernels.all))))
   | None, Some path -> (
     try
-      let p = Locality_lang.Lower.parse_program (read_file path) in
+      let p =
+        Obs.span "parse" ~args:[ ("file", path) ] (fun () ->
+            Locality_lang.Lower.parse_program (read_file path))
+      in
       match n with
       | None -> Ok p
       | Some n ->
@@ -79,6 +85,42 @@ let or_die = function
   | Error msg ->
     prerr_endline ("memoria: " ^ msg);
     exit 1
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the pipeline (parse, dependence analysis, compound \
+           transformation, capture, replay) and write a Chrome \
+           trace-event JSON file; open it in chrome://tracing or \
+           Perfetto.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a phase-timing and counter table to stderr after the run \
+           (stdout stays byte-identical).")
+
+(* Tracing harness for the commands that take [--trace]/[--profile]:
+   enable recording around [f], then export. The trace goes to a file
+   and the profile to stderr so stdout is unchanged by either flag. *)
+let with_obs ~trace ~profile f =
+  if trace = None && not profile then f ()
+  else begin
+    Obs.set_enabled true;
+    Obs.reset ();
+    let finish () =
+      let events = Obs.drain () in
+      Obs.set_enabled false;
+      Option.iter (fun path -> Chrome.write ~path events) trace;
+      if profile then prerr_string (Stats.Profile.of_events events)
+    in
+    Fun.protect ~finally:finish f
+  end
 
 (* -------------------------------------------------------- commands --- *)
 
@@ -231,12 +273,14 @@ let tile_cmd =
           v.Locality_cachesim.Tilesize.tile
         end
       in
-      Printf.eprintf "; tiling band {%s}, size %d
-" (String.concat ", " band)
+      Printf.eprintf "; tiling band {%s}, size %d\n"
+        (String.concat ", " band)
         size;
       match Core.Tiling.tile ~sizes:size nest ~band with
       | None ->
-        prerr_endline "memoria: band is not tileable (not contiguous, not                        fully permutable, or bounds too complex)";
+        prerr_endline
+          "memoria: band is not tileable (not contiguous, not fully \
+           permutable, or bounds too complex)";
         exit 1
       | Some tiled ->
         let p' = Program.map_body (fun _ -> [ Loop.Loop tiled ]) p in
@@ -292,23 +336,63 @@ let cgen_cmd =
     Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ opt_flag $ driver_flag)
 
 let sim_cmd =
-  let run file kernel cls n cache =
-    let p = or_die (load ~kernel ~file ~n) in
-    let p', _ = Core.Compound.run_program ~cls p in
-    let speedup, before, after = Interp.Measure.speedup ~config:cache p p' in
-    Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
-    Printf.printf "original:    %8.4f modelled s, %6.2f%% hits\n"
-      before.Interp.Measure.seconds
-      (Interp.Measure.hit_rate before.Interp.Measure.whole);
-    Printf.printf "transformed: %8.4f modelled s, %6.2f%% hits\n"
-      after.Interp.Measure.seconds
-      (Interp.Measure.hit_rate after.Interp.Measure.whole);
-    Printf.printf "speedup: %.2fx\n" speedup
+  let run file kernel cls n cache trace profile =
+    with_obs ~trace ~profile (fun () ->
+        let p = or_die (load ~kernel ~file ~n) in
+        let p', _ = Core.Compound.run_program ~cls p in
+        let speedup, before, after =
+          Interp.Measure.speedup ~config:cache p p'
+        in
+        Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
+        Printf.printf "original:    %8.4f modelled s, %6.2f%% hits\n"
+          before.Interp.Measure.seconds
+          (Interp.Measure.hit_rate before.Interp.Measure.whole);
+        Printf.printf "transformed: %8.4f modelled s, %6.2f%% hits\n"
+          after.Interp.Measure.seconds
+          (Interp.Measure.hit_rate after.Interp.Measure.whole);
+        Printf.printf "speedup: %.2fx\n" speedup)
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Simulate cache behaviour of the original and optimized program.")
-    Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ cache_arg)
+    Term.(
+      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ cache_arg
+      $ trace_arg $ profile_arg)
+
+let explain_cmd =
+  let run file kernel cls n json interference_limit =
+    let p = or_die (load ~kernel ~file ~n) in
+    let name =
+      match (kernel, file) with
+      | Some k, _ -> k
+      | None, Some f -> f
+      | None, None -> "program"
+    in
+    let ex = Stats.Explain.run ~cls ?interference_limit ~name p in
+    if json then print_string (Stats.Explain.to_json ex)
+    else print_string (Stats.Explain.render ex)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the decision log as JSON instead of text.")
+  in
+  let interference_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "interference-limit" ] ~docv:"ARRAYS"
+          ~doc:"Forwarded to the cross-nest fusion pass, as in $(b,opt).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the compound optimizer and report, per nest, what it did and \
+          why: the chosen action, the LoopCost evidence, and the legality \
+          and profitability notes of every candidate it weighed.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ json_arg
+      $ interference_arg)
 
 let unroll_cmd =
   let run file kernel n loop factor replace =
@@ -410,25 +494,28 @@ let kernels_cmd =
     Term.(const run $ const ())
 
 let suite_cmd =
-  let run cls n jobs =
+  let run cls n jobs trace profile =
     let n = Option.value n ~default:64 in
     let module Pool = Locality_par.Pool in
     let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
     let rows =
-      Pool.map ~jobs
-        (fun (name, mk) ->
-          let p = mk n in
-          let p', _ = Core.Compound.run_program ~cls p in
-          match
-            Interp.Measure.speedup_configs
-              ~configs:[ Machine.cache1; Machine.cache2 ]
-              p p'
-          with
-          | [ (sp1, r1, r1'); (sp2, _, _) ] ->
-            Printf.sprintf "%-16s %10.4f %10.4f %9.2fx %9.2fx" name
-              r1.Interp.Measure.seconds r1'.Interp.Measure.seconds sp1 sp2
-          | _ -> assert false)
-        Suite.Kernels.all
+      with_obs ~trace ~profile (fun () ->
+          Pool.map ~jobs
+            (fun (name, mk) ->
+              Obs.span ("kernel:" ^ name) (fun () ->
+                  let p = mk n in
+                  let p', _ = Core.Compound.run_program ~cls p in
+                  match
+                    Interp.Measure.speedup_configs
+                      ~configs:[ Machine.cache1; Machine.cache2 ]
+                      p p'
+                  with
+                  | [ (sp1, r1, r1'); (sp2, _, _) ] ->
+                    Printf.sprintf "%-16s %10.4f %10.4f %9.2fx %9.2fx" name
+                      r1.Interp.Measure.seconds r1'.Interp.Measure.seconds sp1
+                      sp2
+                  | _ -> assert false))
+            Suite.Kernels.all)
     in
     Printf.printf "; n=%d cls=%d jobs=%d (each kernel interpreted once per \
                    version, traces replayed on both caches)\n"
@@ -452,7 +539,7 @@ let suite_cmd =
        ~doc:
          "Optimize and simulate every built-in kernel in parallel, printing \
           modelled speedups on both cache geometries.")
-    Term.(const run $ cls_arg $ n_arg $ jobs_arg)
+    Term.(const run $ cls_arg $ n_arg $ jobs_arg $ trace_arg $ profile_arg)
 
 let main =
   Cmd.group
@@ -461,8 +548,8 @@ let main =
          "Compiler optimizations for improving data locality (Carr, \
           McKinley & Tseng, ASPLOS 1994).")
     [
-      opt_cmd; cost_cmd; deps_cmd; sim_cmd; tile_cmd; unroll_cmd; cgen_cmd;
-      kernels_cmd; suite_cmd;
+      opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
+      cgen_cmd; kernels_cmd; suite_cmd;
     ]
 
 let () = exit (Cmd.eval main)

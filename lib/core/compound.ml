@@ -1,3 +1,6 @@
+module Obs = Locality_obs.Obs
+module Event = Locality_obs.Event
+
 type nest_stat = {
   nest_depth : int;
   loops : int;
@@ -69,7 +72,28 @@ let sum_costs ~cls nests =
     (fun acc n -> Poly.add acc (cost_at ~cls n (inner_name n)))
     Poly.zero nests
 
-let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
+let spine_order (n : Loop.t) =
+  List.map (fun (h : Loop.header) -> h.Loop.index) (Loop.loops_on_spine n)
+
+(* Decision context key for a nest: position in its block plus loop
+   order and statement labels, nested under the enclosing nest's key.
+   [memoria explain] groups each nest's notes under this key. *)
+let nest_ctx ~pos (l : Loop.t) =
+  let own =
+    Printf.sprintf "nest%d:%s[%s]" pos
+      (String.concat "," (spine_order l))
+      (String.concat "," (List.map (fun s -> s.Stmt.label) (Loop.statements l)))
+  in
+  match Obs.current_ctx () with "" -> own | parent -> parent ^ "/" ^ own
+
+let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer ~pos
+    (l : Loop.t) : Loop.t list * stats =
+  if Obs.enabled () then
+    Obs.with_ctx (nest_ctx ~pos l) (fun () ->
+        do_optimize_nest ~cls ~try_reversal ?interference_limit ~outer l)
+  else do_optimize_nest ~cls ~try_reversal ?interference_limit ~outer l
+
+and do_optimize_nest ~cls ~try_reversal ?interference_limit ~outer
     (l : Loop.t) : Loop.t list * stats =
   let mo = Memorder.compute ~cls l in
   let orig_mem = Memorder.is_memory_order mo in
@@ -77,7 +101,8 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
   let cost_orig = cost_at ~cls l (inner_name l) in
   let cost_ideal = cost_at ~cls l (Memorder.innermost mo) in
   let finish ?(permuted = false) ?(fused_enabling = false)
-      ?(distributed = false) ?(new_nests = 0) ?(reversed = 0) ~extra nests =
+      ?(distributed = false) ?(new_nests = 0) ?(reversed = 0) ~action ~reason
+      ~extra nests =
     let final_mem =
       List.for_all
         (fun n -> Memorder.is_memory_order (Memorder.compute ~cls n))
@@ -107,9 +132,28 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
         labels = List.map (fun s -> s.Stmt.label) (Loop.statements l);
       }
     in
+    (* One decision record per nest_stat: what the compound algorithm
+       chose for this nest and why, with the LoopCost evidence. *)
+    if Obs.enabled () then
+      Obs.decision
+        {
+          Event.nest = Obs.current_ctx ();
+          labels = stat.labels;
+          depth = stat.nest_depth;
+          action;
+          reason;
+          original_order = mo.Memorder.original;
+          achieved_orders = List.map spine_order nests;
+          memory_order = Memorder.order mo;
+          costs =
+            List.map (fun (x, c) -> (x, Poly.to_string c)) mo.Memorder.ranked;
+        };
     (nests, merge_stats { empty_stats with nests = [ stat ] } extra)
   in
-  if orig_mem && orig_inner then finish ~extra:empty_stats [ l ]
+  if orig_mem && orig_inner then
+    finish ~action:Event.No_change
+      ~reason:"already in memory order with the best innermost loop"
+      ~extra:empty_stats [ l ]
   else
     let po = Permute.run ~cls ~try_reversal l in
     if
@@ -117,25 +161,59 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
       && (po.Permute.status = Permute.Permuted
          || po.Permute.status = Permute.Already)
     then
+      let action =
+        if po.Permute.reversed <> [] then Event.Reverse else Event.Permute
+      in
+      let reason =
+        if po.Permute.achieved = Memorder.order mo then
+          "permuted into memory order"
+        else "permuted into the nearest legal order (best innermost loop)"
+      in
+      let reason =
+        if po.Permute.reversed = [] then reason
+        else
+          Printf.sprintf "%s, enabled by reversing %s" reason
+            (String.concat ", " po.Permute.reversed)
+      in
       finish
         ~permuted:(po.Permute.status = Permute.Permuted)
         ~reversed:(List.length po.Permute.reversed)
-        ~extra:empty_stats [ po.Permute.nest ]
+        ~action ~reason ~extra:empty_stats [ po.Permute.nest ]
     else
       (* Try fusing all inner nests to expose a perfect nest. *)
       let fusion_attempt =
         if Loop.is_perfect l then None
         else
           match Fusion.fuse_all_inner ~cls l with
-          | None -> None
+          | None ->
+            if Obs.enabled () then
+              Obs.instant "fusion.enabling"
+                ~args:
+                  [
+                    ( "verdict",
+                      "not fusable (incompatible headers, illegal, or body \
+                       mixes statements and loops)" );
+                  ];
+            None
           | Some fused ->
             let po2 = Permute.run ~cls ~try_reversal fused in
             if
               po2.Permute.inner_ok
               && (po2.Permute.status = Permute.Permuted
                  || po2.Permute.status = Permute.Already)
-            then Some po2
-            else None
+            then begin
+              if Obs.enabled () then
+                Obs.instant "fusion.enabling"
+                  ~args:[ ("verdict", "fused into a perfect nest") ];
+              Some po2
+            end
+            else begin
+              if Obs.enabled () then
+                Obs.instant "fusion.enabling"
+                  ~args:
+                    [ ("verdict", "fused, but permutation is still blocked") ];
+              None
+            end
       in
       match fusion_attempt with
       | Some po2 ->
@@ -143,6 +221,11 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
           ~permuted:(po2.Permute.status = Permute.Permuted)
           ~fused_enabling:true
           ~reversed:(List.length po2.Permute.reversed)
+          ~action:Event.Fuse
+          ~reason:
+            (Printf.sprintf
+               "fused inner nests into a perfect nest, then permuted to %s"
+               (String.concat "," po2.Permute.achieved))
           ~extra:empty_stats [ po2.Permute.nest ]
       | None -> (
         (* Try distribution; re-fuse the pieces afterwards. *)
@@ -153,7 +236,12 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
               res.Distribution.nests
           in
           finish ~distributed:true ~new_nests:res.Distribution.partitions
-            ~permuted:true
+            ~permuted:true ~action:Event.Distribute
+            ~reason:
+              (Printf.sprintf
+                 "distributed at level %d into %d partitions so a partition \
+                  could be permuted into memory order"
+                 res.Distribution.level res.Distribution.partitions)
             ~extra:
               {
                 fstats with
@@ -167,11 +255,22 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
              (e.g. under a sequential time loop) may contain nests that
              can be optimized independently. *)
           let base = po.Permute.nest in
+          let action, reason =
+            if po.Permute.status = Permute.Permuted then
+              ( (if po.Permute.reversed <> [] then Event.Reverse
+                 else Event.Permute),
+                "partially permuted; memory order itself is "
+                ^ Permute.status_to_string po.Permute.status )
+            else
+              ( Event.No_change,
+                "no improvement possible: "
+                ^ Permute.status_to_string po.Permute.status )
+          in
           if Loop.is_perfect base then
             finish
               ~permuted:(po.Permute.status = Permute.Permuted)
               ~reversed:(List.length po.Permute.reversed)
-              ~extra:empty_stats [ base ]
+              ~action ~reason ~extra:empty_stats [ base ]
           else
             let body', inner_stats =
               run_block ~cls ~try_reversal ?interference_limit
@@ -181,6 +280,8 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer
             finish
               ~permuted:(po.Permute.status = Permute.Permuted)
               ~reversed:(List.length po.Permute.reversed)
+              ~action
+              ~reason:(reason ^ "; inner nests optimized independently")
               ~extra:inner_stats
               [ { base with Loop.body = body' } ])
 
@@ -233,18 +334,20 @@ and fuse_downward ~cls ?interference_limit ~outer (l : Loop.t) =
 and run_block ?(cls = 4) ?(try_reversal = true) ?interference_limit ~outer
     (b : Loop.block) =
   (* Optimize each nest in place. *)
-  let optimized, stats =
+  let optimized, stats, _ =
     List.fold_left
-      (fun (acc, stats) node ->
+      (fun (acc, stats, pos) node ->
         match node with
-        | Loop.Stmt s -> (acc @ [ Loop.Stmt s ], stats)
+        | Loop.Stmt s -> (acc @ [ Loop.Stmt s ], stats, pos + 1)
         | Loop.Loop l when Loop.depth l >= 2 ->
           let nests, s =
-            optimize_nest ~cls ~try_reversal ?interference_limit ~outer l
+            optimize_nest ~cls ~try_reversal ?interference_limit ~outer ~pos l
           in
-          (acc @ List.map (fun n -> Loop.Loop n) nests, merge_stats stats s)
-        | Loop.Loop l -> (acc @ [ Loop.Loop l ], stats))
-      ([], empty_stats) b
+          ( acc @ List.map (fun n -> Loop.Loop n) nests,
+            merge_stats stats s,
+            pos + 1 )
+        | Loop.Loop l -> (acc @ [ Loop.Loop l ], stats, pos + 1))
+      ([], empty_stats, 0) b
   in
   (* Final pass: fuse adjacent optimized nests when profitable, then
      complete any fusions the merges exposed deeper inside. *)
@@ -271,7 +374,14 @@ and run_block ?(cls = 4) ?(try_reversal = true) ?interference_limit ~outer
 
 let run_program ?(cls = 4) ?(try_reversal = true) ?interference_limit
     (p : Program.t) =
-  let body, stats =
-    run_block ~cls ~try_reversal ?interference_limit ~outer:[] p.Program.body
-  in
-  (Program.map_body (fun _ -> body) p, stats)
+  Obs.span "compound" (fun () ->
+      let body, stats =
+        run_block ~cls ~try_reversal ?interference_limit ~outer:[]
+          p.Program.body
+      in
+      if Obs.enabled () then begin
+        Obs.add_span_arg "nests" (string_of_int (List.length stats.nests));
+        Obs.add_span_arg "fusions" (string_of_int stats.fusions_applied);
+        Obs.add_span_arg "distributions" (string_of_int stats.distributions)
+      end;
+      (Program.map_body (fun _ -> body) p, stats))

@@ -2,6 +2,7 @@ module An = Locality_dep.Analysis
 module Dep = Locality_dep.Depend
 module Direction = Locality_dep.Direction
 module G = Locality_dep.Graph
+module Obs = Locality_obs.Obs
 
 type result = {
   nests : Loop.t list;
@@ -120,9 +121,16 @@ let run ?(cls = 4) ?(try_reversal = true) (nest : Loop.t) =
   let sites =
     List.filter (fun (_, _, l) -> List.length l.Loop.body >= 2) (loop_sites nest)
   in
+  let note ~level verdict =
+    if Obs.enabled () then
+      Obs.instant "distribution.attempt"
+        ~args:[ ("level", string_of_int level); ("verdict", verdict) ]
+  in
   let attempt (level, path, l) =
     match partition_body ~deps ~level l with
-    | None -> None
+    | None ->
+      note ~level "no split: the body is one dependence cycle";
+      None
     | Some parts ->
       (* Each partition becomes its own copy of the distributed loop;
          permute the copies that can reach memory order. *)
@@ -140,7 +148,13 @@ let run ?(cls = 4) ?(try_reversal = true) (nest : Loop.t) =
             Loop.Loop o.Permute.nest)
           parts
       in
-      if not !improved then None
+      if not !improved then begin
+        note ~level
+          (Printf.sprintf
+             "split into %d partitions, but none became permutable"
+             (List.length parts));
+        None
+      end
       else
         let nests =
           List.map
@@ -149,6 +163,11 @@ let run ?(cls = 4) ?(try_reversal = true) (nest : Loop.t) =
               | Loop.Stmt _ -> assert false)
             (splice nest path copies)
         in
-        Some { nests; level; partitions = List.length parts; improved = true }
+        begin
+          note ~level
+            (Printf.sprintf "distributed into %d partitions"
+               (List.length parts));
+          Some { nests; level; partitions = List.length parts; improved = true }
+        end
   in
   List.find_map attempt sites

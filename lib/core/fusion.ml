@@ -1,5 +1,6 @@
 module An = Locality_dep.Analysis
 module Dep = Locality_dep.Depend
+module Obs = Locality_obs.Obs
 
 let header_compatible (a : Loop.header) (b : Loop.header) =
   let eq_expr x y =
@@ -269,20 +270,35 @@ let fuse_run ?(cls = 4) ?interference_limit ~outer (nests : Loop.t list) =
       done;
       Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 marked
     in
+    let head_label l =
+      match Loop.statements l with s :: _ -> s.Stmt.label | [] -> "?"
+    in
+    let note a b ~depth ~weight:w verdict =
+      if Obs.enabled () then
+        Obs.instant "fusion.candidate"
+          ~args:
+            [
+              ("first", head_label a.nest);
+              ("second", head_label b.nest);
+              ("depth", string_of_int depth);
+              ("weight", Poly.to_string w);
+              ("verdict", verdict);
+            ]
+    in
     let try_pair a b =
       (* a textually before b *)
       let depth = compatible_level a.nest b.nest in
       if depth >= 1 then begin
         let w = weight ~cls ~outer a.nest b.nest ~depth in
-        let profitable = Poly.compare_dominant w Poly.zero > 0 in
-        let profitable =
-          profitable
-          &&
+        let profitable_raw = Poly.compare_dominant w Poly.zero > 0 in
+        let within_limit =
           match interference_limit with
           | None -> true
           | Some limit ->
-            distinct_arrays (fuse_to_depth a.nest b.nest ~depth) <= limit
+            (not profitable_raw)
+            || distinct_arrays (fuse_to_depth a.nest b.nest ~depth) <= limit
         in
+        let profitable = profitable_raw && within_limit in
         (* Fusing pulls b's statements up to a's position, so any
            intervening cluster that b depends on forbids the move. *)
         let intervening =
@@ -294,10 +310,19 @@ let fuse_run ?(cls = 4) ?interference_limit ~outer (nests : Loop.t list) =
             !clusters
         in
         let blocked = List.exists (fun m -> path_between m b) intervening in
-        if
-          profitable && (not blocked)
-          && legal ~outer a.nest b.nest ~depth
-        then begin
+        let is_legal =
+          profitable && (not blocked) && legal ~outer a.nest b.nest ~depth
+        in
+        note a b ~depth ~weight:w
+          (if not profitable_raw then "rejected: no locality benefit"
+           else if not within_limit then
+             "rejected: over the interference limit"
+           else if blocked then
+             "rejected: an intervening nest carries a dependence path"
+           else if not is_legal then
+             "rejected: fusing would reverse a dependence"
+           else "fused");
+        if is_legal then begin
           let fused = fuse_to_depth a.nest b.nest ~depth in
           clusters :=
             List.filter_map

@@ -13,10 +13,13 @@ let reorder_vec (d : Dep.t) ~target =
   in
   List.filter_map entry target
 
-let permutation_legal ~deps ~target =
-  List.for_all
-    (fun (d : Dep.t) -> Direction.lex_nonneg (reorder_vec d ~target))
+let permutation_violation ~deps ~target =
+  List.find_opt
+    (fun (d : Dep.t) -> not (Direction.lex_nonneg (reorder_vec d ~target)))
     deps
+
+let permutation_legal ~deps ~target =
+  permutation_violation ~deps ~target = None
 
 let reversal_legal ~deps ~loop =
   List.for_all

@@ -9,6 +9,13 @@ val permutation_legal :
     entries are reordered to [target] (outermost first). Dependences over
     loops outside [target] keep those entries in place relative order. *)
 
+val permutation_violation :
+  deps:Locality_dep.Depend.t list ->
+  target:string list ->
+  Locality_dep.Depend.t option
+(** The first dependence that [target] would reverse, for decision
+    logging — [None] exactly when {!permutation_legal}. *)
+
 val reversal_legal :
   deps:Locality_dep.Depend.t list -> loop:string -> bool
 (** Negating every dependence entry for [loop] leaves all vectors

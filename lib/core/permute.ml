@@ -1,6 +1,7 @@
 module An = Locality_dep.Analysis
 module Dep = Locality_dep.Depend
 module Direction = Locality_dep.Direction
+module Obs = Locality_obs.Obs
 
 type status = Already | Permuted | Failed_deps | Failed_bounds
 
@@ -99,8 +100,19 @@ let greedy_place ~try_reversal ~preference ~deps ~inner =
   let remaining = List.filter (fun x -> not (String.equal x inner)) preference in
   place remaining deps [] [] deps
 
+let note_candidate order reversed verdict =
+  if Obs.enabled () then
+    Obs.instant "permute.candidate"
+      ~args:
+        ([ ("order", String.concat "," order) ]
+        @ (if reversed = [] then []
+           else [ ("reversed", String.concat "," reversed) ])
+        @ [ ("verdict", verdict) ])
+
 let run ?(cls = 4) ?(try_reversal = true) nest =
-  let deps_all = An.deps_in_nest ~include_input:true nest in
+  let deps_all =
+    Obs.span "dep" (fun () -> An.deps_in_nest ~include_input:true nest)
+  in
   let mo = Memorder.compute ~deps:deps_all ~cls nest in
   let original = mo.Memorder.original in
   let unchanged status =
@@ -124,6 +136,7 @@ let run ?(cls = 4) ?(try_reversal = true) nest =
       in
       match Interchange.permute_spine nest' order with
       | Some nest'' ->
+        note_candidate order reversed "applied";
         let inner_achieved = List.nth order (List.length order - 1) in
         let best_cost = List.assoc (Memorder.innermost mo) mo.Memorder.ranked in
         let got_cost = List.assoc inner_achieved mo.Memorder.ranked in
@@ -136,7 +149,9 @@ let run ?(cls = 4) ?(try_reversal = true) nest =
             inner_ok = Poly.compare_dominant got_cost best_cost <= 0;
             reversed;
           }
-      | None -> None
+      | None ->
+        note_candidate order reversed "bounds too complex to rewrite";
+        None
     in
     (* Candidate orders, most desirable first: memory order itself when
        legal, then the nearest legal order for each inner-loop preference.
@@ -144,8 +159,25 @@ let run ?(cls = 4) ?(try_reversal = true) nest =
        falls through to the next. *)
     let candidates =
       let direct =
-        if Legality.permutation_legal ~deps ~target then [ (target, []) ]
-        else []
+        match Legality.permutation_violation ~deps ~target with
+        | None ->
+          if Obs.enabled () then
+            Obs.instant "permute.memory_order"
+              ~args:
+                [
+                  ("order", String.concat "," target); ("verdict", "legal");
+                ];
+          [ (target, []) ]
+        | Some d ->
+          if Obs.enabled () then
+            Obs.instant "permute.memory_order"
+              ~args:
+                [
+                  ("order", String.concat "," target);
+                  ("verdict", "illegal");
+                  ("violates", Format.asprintf "%a" Dep.pp d);
+                ];
+          []
       in
       let greedy =
         List.filter_map
@@ -174,13 +206,20 @@ let run ?(cls = 4) ?(try_reversal = true) nest =
     in
     let improving =
       List.filter
-        (fun (order, _) ->
-          order <> original
-          &&
-          match List.rev order with
-          | inner :: _ ->
-            Poly.compare_dominant (cost_of inner) current_inner_cost <= 0
-          | [] -> false)
+        (fun (order, reversed) ->
+          let keep =
+            order <> original
+            &&
+            match List.rev order with
+            | inner :: _ ->
+              Poly.compare_dominant (cost_of inner) current_inner_cost <= 0
+            | [] -> false
+          in
+          if not keep then
+            note_candidate order reversed
+              (if order = original then "legal but identical to current order"
+               else "rejected: would worsen the innermost loop");
+          keep)
         candidates
     in
     if candidates = [] then unchanged Failed_deps

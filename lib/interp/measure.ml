@@ -1,5 +1,6 @@
 module Cache = Locality_cachesim.Cache
 module Machine = Locality_cachesim.Machine
+module Obs = Locality_obs.Obs
 
 type region = {
   accesses : int;
@@ -33,12 +34,20 @@ type capture = {
 }
 
 let capture ?params (p : Program.t) =
-  let tr, finish = Trace.capturing () in
-  let res = Fastexec.run_traced ?params tr p in
-  { trace = finish (); cap_ops = res.Fastexec.ops }
+  Obs.span "capture" (fun () ->
+      let tr, finish = Trace.capturing () in
+      let res = Fastexec.run_traced ?params tr p in
+      let cap = { trace = finish (); cap_ops = res.Fastexec.ops } in
+      if Obs.enabled () then begin
+        Obs.add_span_arg "records"
+          (string_of_int cap.trace.Trace.records);
+        Obs.add_span_arg "ops" (string_of_int cap.cap_ops)
+      end;
+      cap)
 
 let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
     ?(optimized_labels = []) cap =
+  Obs.span "replay" ~args:[ ("cache", config.Cache.name) ] (fun () ->
   let cache = Cache.create config in
   let marked =
     Array.map
@@ -46,9 +55,21 @@ let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
       cap.trace.Trace.trace_labels
   in
   let reg = Cache.fresh_region () in
+  let chunks = ref 0 in
   Trace.iter_chunks cap.trace (fun c ->
+      incr chunks;
       Cache.simulate_chunk cache ~marked ~region:reg c);
   let s = Cache.stats cache in
+  if Obs.enabled () then begin
+    Obs.add_span_arg "accesses" (string_of_int s.Cache.accesses);
+    Obs.add_span_arg "hits" (string_of_int s.Cache.hits);
+    Obs.add_span_arg "cold" (string_of_int s.Cache.cold_misses);
+    Obs.add_span_arg "chunks_replayed" (string_of_int !chunks);
+    Obs.counter "cache.accesses" s.Cache.accesses;
+    Obs.counter "cache.hits" s.Cache.hits;
+    Obs.counter "cache.cold" s.Cache.cold_misses;
+    Obs.counter "chunks.replayed" !chunks
+  end;
   let whole =
     {
       accesses = s.Cache.accesses;
@@ -71,7 +92,7 @@ let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
     ops;
     cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses;
     seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
-  }
+  })
 
 let measure ?config ?timing ?optimized_labels ?params (p : Program.t) =
   replay ?config ?timing ?optimized_labels (capture ?params p)
@@ -84,15 +105,28 @@ type hier_run = {
 }
 
 let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) cap =
-  let module H = Locality_cachesim.Hierarchy in
-  let h = H.create ~l1 ~l2 in
-  Trace.iter_chunks cap.trace (fun c -> H.simulate_chunk h c);
-  {
-    l1_rate = Cache.hit_rate (H.l1_stats h);
-    l2_rate = Cache.hit_rate (H.l2_stats h);
-    amat = H.amat h;
-    hier_writebacks = H.writebacks h;
-  }
+  Obs.span "replay_hierarchy"
+    ~args:[ ("l1", l1.Cache.name); ("l2", l2.Cache.name) ]
+    (fun () ->
+      let module H = Locality_cachesim.Hierarchy in
+      let h = H.create ~l1 ~l2 in
+      let chunks = ref 0 in
+      Trace.iter_chunks cap.trace (fun c ->
+          incr chunks;
+          H.simulate_chunk h c);
+      if Obs.enabled () then begin
+        let s1 = H.l1_stats h in
+        Obs.add_span_arg "l1_accesses" (string_of_int s1.Cache.accesses);
+        Obs.add_span_arg "l1_hits" (string_of_int s1.Cache.hits);
+        Obs.add_span_arg "chunks_replayed" (string_of_int !chunks);
+        Obs.counter "chunks.replayed" !chunks
+      end;
+      {
+        l1_rate = Cache.hit_rate (H.l1_stats h);
+        l2_rate = Cache.hit_rate (H.l2_stats h);
+        amat = H.amat h;
+        hier_writebacks = H.writebacks h;
+      })
 
 let measure_hierarchy ?l1 ?l2 ?params (p : Program.t) =
   replay_hierarchy ?l1 ?l2 (capture ?params p)

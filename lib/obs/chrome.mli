@@ -1,0 +1,19 @@
+(** Chrome trace-event JSON export.
+
+    Renders a recorded event stream in the trace-event format understood
+    by chrome://tracing, Perfetto and speedscope: spans as complete
+    ("X") events on one track per domain, decisions and notes as
+    instants, counters as running-total counter ("C") tracks.
+    Timestamps are microseconds relative to the earliest event. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val str : string -> string
+(** A quoted JSON string literal. *)
+
+val to_string : ?process_name:string -> Event.t list -> string
+(** The complete JSON document ([{"traceEvents": [...], ...}]). *)
+
+val write : path:string -> ?process_name:string -> Event.t list -> unit
+(** {!to_string} straight to a file. *)

@@ -1,0 +1,55 @@
+type args = (string * string) list
+
+type action = Permute | Fuse | Distribute | Reverse | No_change
+
+let action_to_string = function
+  | Permute -> "permute"
+  | Fuse -> "fuse"
+  | Distribute -> "distribute"
+  | Reverse -> "reverse"
+  | No_change -> "none"
+
+type decision = {
+  nest : string;
+  labels : string list;
+  depth : int;
+  action : action;
+  reason : string;
+  original_order : string list;
+  achieved_orders : string list list;
+  memory_order : string list;
+  costs : (string * string) list;
+}
+
+type payload =
+  | Span of { name : string; begin_ns : int64; dur_ns : int64; args : args }
+  | Instant of { name : string; args : args }
+  | Counter of { name : string; delta : int }
+  | Decision of decision
+
+type t = {
+  ts_ns : int64;
+  dom : int;
+  ctx : string;
+  payload : payload;
+}
+
+(* Timestamp-, duration- and domain-free rendering: the determinism key
+   two runs of the same workload must agree on, whatever the pool size
+   or machine speed (the test suite compares these). *)
+let fingerprint (e : t) =
+  let args a =
+    String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) a)
+  in
+  let p =
+    match e.payload with
+    | Span s -> Printf.sprintf "span:%s{%s}" s.name (args s.args)
+    | Instant i -> Printf.sprintf "instant:%s{%s}" i.name (args i.args)
+    | Counter c -> Printf.sprintf "counter:%s%+d" c.name c.delta
+    | Decision d ->
+      Printf.sprintf "decision:%s:%s:%s[%s]" d.nest
+        (action_to_string d.action)
+        d.reason
+        (args d.costs)
+  in
+  (match e.ctx with "" -> p | c -> c ^ "|" ^ p)

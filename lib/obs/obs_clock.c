@@ -1,0 +1,24 @@
+/* Monotonic clock for the tracing core.
+
+   CLOCK_MONOTONIC never steps backwards under NTP adjustments, which
+   gettimeofday can, so span durations stay non-negative. Exposed both
+   boxed (bytecode) and unboxed (native, no allocation on the fast
+   path used by every span). */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t obs_monotonic_ns_unboxed(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(obs_monotonic_ns_unboxed());
+}

@@ -1,0 +1,59 @@
+type span_row = {
+  name : string;
+  count : int;
+  total_ns : int64;
+  max_ns : int64;
+}
+
+type t = {
+  spans : span_row list;
+  counters : (string * int) list;
+  decisions : Event.decision list;
+  events : int;
+}
+
+(* First-occurrence order keeps the report deterministic without
+   depending on hash-table iteration order. *)
+let of_events (events : Event.t list) =
+  let span_tbl = Hashtbl.create 16 and span_order = ref [] in
+  let ctr_tbl = Hashtbl.create 16 and ctr_order = ref [] in
+  let decisions = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Span s ->
+        let row =
+          match Hashtbl.find_opt span_tbl s.name with
+          | Some r -> r
+          | None ->
+            span_order := s.name :: !span_order;
+            { name = s.name; count = 0; total_ns = 0L; max_ns = 0L }
+        in
+        Hashtbl.replace span_tbl s.name
+          {
+            row with
+            count = row.count + 1;
+            total_ns = Int64.add row.total_ns s.dur_ns;
+            max_ns =
+              (if Int64.compare s.dur_ns row.max_ns > 0 then s.dur_ns
+               else row.max_ns);
+          }
+      | Event.Counter c ->
+        (match Hashtbl.find_opt ctr_tbl c.name with
+        | Some total -> Hashtbl.replace ctr_tbl c.name (total + c.delta)
+        | None ->
+          ctr_order := c.name :: !ctr_order;
+          Hashtbl.add ctr_tbl c.name c.delta)
+      | Event.Decision d -> decisions := d :: !decisions
+      | Event.Instant _ -> ())
+    events;
+  {
+    spans =
+      List.rev_map (fun name -> Hashtbl.find span_tbl name) !span_order;
+    counters =
+      List.rev_map (fun name -> (name, Hashtbl.find ctr_tbl name)) !ctr_order;
+    decisions = List.rev !decisions;
+    events = List.length events;
+  }
+
+let ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,21 @@
+(** Aggregation of an event stream into per-span totals, counter sums
+    and the decision list — the data behind the [--profile] table. *)
+
+type span_row = {
+  name : string;
+  count : int;
+  total_ns : int64;
+  max_ns : int64;
+}
+
+type t = {
+  spans : span_row list;  (** in first-occurrence order *)
+  counters : (string * int) list;  (** summed deltas, first-occurrence order *)
+  decisions : Event.decision list;  (** in recording order *)
+  events : int;  (** total events seen *)
+}
+
+val of_events : Event.t list -> t
+
+val ms : int64 -> float
+(** Nanoseconds to milliseconds. *)

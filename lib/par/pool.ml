@@ -31,6 +31,8 @@ let default_jobs () =
    multiplying domains. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+module Obs = Locality_obs.Obs
+
 let map_array ?jobs f items =
   let n = Array.length items in
   let jobs =
@@ -40,6 +42,12 @@ let map_array ?jobs f items =
   if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then Array.map f items
   else begin
     let results = Array.make n None in
+    (* When tracing is on, each item's events are captured on the worker
+       and re-injected into the caller's buffer in input order at the
+       barrier, so the merged stream is independent of the pool size
+       (the sequential path above records directly in the same order). *)
+    let tracing = Obs.enabled () in
+    let item_events = if tracing then Array.make n [] else [||] in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let work () =
@@ -52,7 +60,15 @@ let map_array ?jobs f items =
             let i = Atomic.fetch_and_add next 1 in
             if i >= n || Atomic.get failure <> None then continue := false
             else
-              match f items.(i) with
+              let run () =
+                if tracing then begin
+                  let v, evs = Obs.scoped (fun () -> f items.(i)) in
+                  item_events.(i) <- evs;
+                  v
+                end
+                else f items.(i)
+              in
+              match run () with
               | v -> results.(i) <- Some v
               | exception e ->
                 let bt = Printexc.get_raw_backtrace () in
@@ -65,6 +81,7 @@ let map_array ?jobs f items =
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
+    if tracing then Array.iter Obs.inject item_events;
     Array.map (function Some v -> v | None -> assert false) results
   end
 

@@ -11,7 +11,12 @@
     count — oversubscribing cores only adds GC synchronisation stalls),
     otherwise to the recommended domain count capped at 8. An explicit
     [?jobs] argument is taken literally. Nested calls from inside a pool
-    worker run sequentially rather than spawning further domains. *)
+    worker run sequentially rather than spawning further domains.
+
+    When {!Locality_obs.Obs} tracing is enabled, each item's events are
+    captured on the worker domain and merged back into the caller's
+    buffer in input order at the barrier, so the recorded stream has the
+    same {!Locality_obs.Event.fingerprint} sequence at any pool size. *)
 
 val jobs_env : string
 (** Name of the controlling environment variable, ["MEMORIA_JOBS"]. *)

@@ -1,5 +1,10 @@
 module S = Locality_suite
 
+(* The experiment tables all format floats to a fixed precision: four
+   places for ratios and hit rates, six for simulated seconds. *)
+let float4 x = Printf.sprintf "%.4f" x
+let float6 x = Printf.sprintf "%.6f" x
+
 let escape field =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
@@ -34,8 +39,8 @@ let table2 rows =
            string_of_int r.Table2.fusions;
            string_of_int r.Table2.dist;
            string_of_int r.Table2.dist_results;
-           Printf.sprintf "%.4f" r.Table2.ratio_final;
-           Printf.sprintf "%.4f" r.Table2.ratio_ideal;
+           float4 r.Table2.ratio_final;
+           float4 r.Table2.ratio_ideal;
          ])
        rows)
 
@@ -46,10 +51,10 @@ let table3 rows =
        (fun (r : Perf.perf_row) ->
          [
            r.Perf.name;
-           Printf.sprintf "%.6f" r.Perf.seconds_orig;
-           Printf.sprintf "%.6f" r.Perf.seconds_final;
-           Printf.sprintf "%.4f" r.Perf.speedup;
-           Printf.sprintf "%.4f" r.Perf.speedup2;
+           float6 r.Perf.seconds_orig;
+           float6 r.Perf.seconds_final;
+           float4 r.Perf.speedup;
+           float4 r.Perf.speedup2;
          ])
        rows)
 
@@ -63,14 +68,14 @@ let table4 rows =
        (fun (r : Perf.hit_row) ->
          [
            r.Perf.name;
-           Printf.sprintf "%.4f" r.Perf.opt1_orig;
-           Printf.sprintf "%.4f" r.Perf.opt1_final;
-           Printf.sprintf "%.4f" r.Perf.opt2_orig;
-           Printf.sprintf "%.4f" r.Perf.opt2_final;
-           Printf.sprintf "%.4f" r.Perf.whole1_orig;
-           Printf.sprintf "%.4f" r.Perf.whole1_final;
-           Printf.sprintf "%.4f" r.Perf.whole2_orig;
-           Printf.sprintf "%.4f" r.Perf.whole2_final;
+           float4 r.Perf.opt1_orig;
+           float4 r.Perf.opt1_final;
+           float4 r.Perf.opt2_orig;
+           float4 r.Perf.opt2_final;
+           float4 r.Perf.whole1_orig;
+           float4 r.Perf.whole1_final;
+           float4 r.Perf.whole2_orig;
+           float4 r.Perf.whole2_final;
          ])
        rows)
 

@@ -1,6 +1,13 @@
 (** CSV export of the experiment data, for plotting or further analysis
     outside the harness. *)
 
+val float4 : float -> string
+(** Fixed four-place formatting, shared by every ratio / hit-rate column
+    and the profile table. *)
+
+val float6 : float -> string
+(** Fixed six-place formatting for simulated seconds. *)
+
 val escape : string -> string
 (** RFC-4180-style quoting when a field contains a comma, quote or
     newline. *)

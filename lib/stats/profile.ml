@@ -1,0 +1,44 @@
+module Summary = Locality_obs.Summary
+
+let span_table (spans : Summary.span_row list) =
+  let total_all =
+    List.fold_left (fun acc (r : Summary.span_row) -> Int64.add acc r.total_ns)
+      0L spans
+  in
+  let share ns =
+    if Int64.equal total_all 0L then "-"
+    else
+      Csv.float4 (100.0 *. Int64.to_float ns /. Int64.to_float total_all)
+  in
+  Report.render ~title:"Profile: phases"
+    ~note:"total/max in milliseconds; share is of the summed span time"
+    [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right ]
+    [ "span"; "count"; "total_ms"; "max_ms"; "share_pct" ]
+    (List.map
+       (fun (r : Summary.span_row) ->
+         [
+           r.name;
+           string_of_int r.count;
+           Csv.float4 (Summary.ms r.total_ns);
+           Csv.float4 (Summary.ms r.max_ns);
+           share r.total_ns;
+         ])
+       spans)
+
+let counter_table counters =
+  Report.render ~title:"Profile: counters"
+    [ Report.Left; Report.Right ]
+    [ "counter"; "total" ]
+    (List.map (fun (name, v) -> [ name; string_of_int v ]) counters)
+
+let render (s : Summary.t) =
+  match (s.Summary.spans, s.Summary.counters) with
+  | [], [] -> "Profile: no events recorded (tracing disabled?)\n"
+  | spans, counters ->
+    let parts =
+      (if spans = [] then [] else [ span_table spans ])
+      @ if counters = [] then [] else [ counter_table counters ]
+    in
+    String.concat "\n" parts
+
+let of_events events = render (Summary.of_events events)

@@ -1,0 +1,10 @@
+(** The [--profile] table: phase timings and cache counters from an
+    event stream, rendered with {!Report}. *)
+
+val render : Locality_obs.Summary.t -> string
+(** Two plain-text tables — per-span totals (count, total ms, max ms,
+    share of the traced time) and counter sums. Empty sections are
+    omitted; an empty summary renders a one-line note. *)
+
+val of_events : Locality_obs.Event.t list -> string
+(** [render] composed with {!Locality_obs.Summary.of_events}. *)

@@ -17,4 +17,5 @@ let () =
       ("cgen", Test_cgen.suite);
       ("units", Test_units.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,357 @@
+(* Tests for Locality_obs and its consumers: determinism of the merged
+   event stream across pool sizes, span behaviour under exceptions, the
+   null sink, summary aggregation, the explain decision log (one record
+   per Compound nest_stat), and Chrome trace-event JSON well-formedness
+   (checked with a small standalone JSON parser). *)
+
+open Locality_ir
+module Obs = Locality_obs.Obs
+module Event = Locality_obs.Event
+module Summary = Locality_obs.Summary
+module Chrome = Locality_obs.Chrome
+module Pool = Locality_par.Pool
+module Compound = Locality_core.Compound
+module Stats = Locality_stats
+module Suite = Locality_suite
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------- minimal JSON ---- *)
+
+(* A strict RFC-8259 validator, so the Chrome export is checked without
+   depending on a JSON library. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let peek () = if !pos >= n then fail () else s.[!pos] in
+  let advance () = incr pos in
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let skip_ws () =
+    while !pos < n && is_ws s.[!pos] do
+      advance ()
+    done
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let lit w = String.iter (fun c -> if peek () <> c then fail () else advance ()) w in
+  let digits () =
+    if not (is_digit (peek ())) then fail ();
+    while !pos < n && is_digit s.[!pos] do
+      advance ()
+    done
+  in
+  let number () =
+    if peek () = '-' then advance ();
+    digits ();
+    if !pos < n && s.[!pos] = '.' then begin
+      advance ();
+      digits ()
+    end;
+    if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+      advance ();
+      if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then advance ();
+      digits ()
+    end
+  in
+  let string_lit () =
+    if peek () <> '"' then fail ();
+    advance ();
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> advance ()
+        | 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+            | _ -> fail ()
+          done
+        | _ -> fail ());
+        go ()
+      | c when Char.code c < 0x20 -> fail ()
+      | _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_lit ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | '-' | '0' .. '9' -> number ()
+    | _ -> fail ()
+  and obj () =
+    advance ();
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        if peek () <> ':' then fail ();
+        advance ();
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          advance ();
+          members ()
+        | '}' -> advance ()
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    advance ();
+    skip_ws ();
+    if peek () = ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          advance ();
+          elems ()
+        | ']' -> advance ()
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | ok -> ok
+  | exception Exit -> false
+
+let test_json_validator () =
+  checkb "object" true (json_valid {|{"a":[1,2.5e-3],"b":"x\n","c":null}|});
+  checkb "trailing junk" false (json_valid "{} x");
+  checkb "bad escape" false (json_valid {|{"a":"\q"}|});
+  checkb "raw newline in string" false (json_valid "\"a\nb\"")
+
+(* -------------------------------------------- pool determinism ----- *)
+
+let dummy_decision i =
+  {
+    Event.nest = Printf.sprintf "nest%d" i;
+    labels = [ "S1" ];
+    depth = 2;
+    action = Event.Permute;
+    reason = "test";
+    original_order = [ "I"; "J" ];
+    achieved_orders = [ [ "J"; "I" ] ];
+    memory_order = [ "J"; "I" ];
+    costs = [ ("J", "N^2"); ("I", "N") ];
+  }
+
+let pool_workload i =
+  Obs.span
+    (Printf.sprintf "item%d" i)
+    ~args:[ ("i", string_of_int i) ]
+    (fun () ->
+      Obs.instant "note" ~args:[ ("sq", string_of_int (i * i)) ];
+      Obs.counter "work" (i + 1);
+      if i mod 2 = 0 then Obs.decision (dummy_decision i);
+      i * i)
+
+let stream_at_jobs jobs =
+  let res, events =
+    Obs.collect (fun () -> Pool.map ~jobs pool_workload (List.init 8 Fun.id))
+  in
+  (res, List.map Event.fingerprint events)
+
+let test_pool_merge_deterministic () =
+  let r1, f1 = stream_at_jobs 1 in
+  let r4, f4 = stream_at_jobs 4 in
+  checkb "results equal" true (r1 = r4);
+  checki "events at jobs=1" (List.length f1) (List.length f4);
+  checkb "some events recorded" true (List.length f1 >= 8 * 3);
+  List.iteri
+    (fun i (a, b) -> checks (Printf.sprintf "fingerprint %d" i) a b)
+    (List.combine f1 f4)
+
+let test_span_exception_propagates () =
+  let saw, events =
+    Obs.collect (fun () ->
+        match Obs.span "boom" (fun () -> failwith "inner") with
+        | () -> false
+        | exception Failure msg -> msg = "inner")
+  in
+  checkb "exception propagated" true saw;
+  let spans =
+    List.filter
+      (fun (e : Event.t) ->
+        match e.Event.payload with
+        | Event.Span { name; _ } -> name = "boom"
+        | _ -> false)
+      events
+  in
+  checki "raising span still recorded" 1 (List.length spans)
+
+let test_disabled_records_nothing () =
+  checkb "disabled by default" false (Obs.enabled ());
+  Obs.reset ();
+  Obs.span "s" (fun () ->
+      Obs.instant "i";
+      Obs.counter "c" 1);
+  checki "no events when disabled" 0 (List.length (Obs.drain ()))
+
+let test_summary_aggregation () =
+  let (), events =
+    Obs.collect (fun () ->
+        Obs.counter "c" 1;
+        Obs.counter "c" 2;
+        Obs.counter "c" 3;
+        Obs.span "s" (fun () -> ());
+        Obs.span "s" (fun () -> ()))
+  in
+  let s = Summary.of_events events in
+  checkb "counter summed" true (List.assoc "c" s.Summary.counters = 6);
+  match s.Summary.spans with
+  | [ row ] ->
+    checks "span name" "s" row.Summary.name;
+    checki "span count" 2 row.Summary.count
+  | rows -> Alcotest.failf "expected one span row, got %d" (List.length rows)
+
+(* ------------------------------------------------ explain log ------ *)
+
+let explain_of_kernel ?(n = 16) name =
+  match List.assoc_opt name Suite.Kernels.all with
+  | Some mk -> Stats.Explain.run ~name (mk n)
+  | None -> Alcotest.failf "kernel %s missing" name
+
+let decision_count_matches name =
+  let ex = explain_of_kernel name in
+  checki
+    (Printf.sprintf "%s: one decision per nest_stat" name)
+    (List.length (Stats.Explain.stats ex).Compound.nests)
+    (List.length (Stats.Explain.entries ex))
+
+let test_explain_counts_all_kernels () =
+  List.iter (fun (name, _) -> decision_count_matches name) Suite.Kernels.all
+
+let entry_actions ex =
+  List.map
+    (fun (e : Stats.Explain.entry) -> e.Stats.Explain.decision.Event.action)
+    (Stats.Explain.entries ex)
+
+let test_explain_distribution_case () =
+  let ex = explain_of_kernel "cholesky" in
+  checkb "cholesky entry distributes" true
+    (List.mem Event.Distribute (entry_actions ex));
+  let s = Stats.Explain.stats ex in
+  checkb "stats agree a distribution happened" true
+    (s.Compound.distributions >= 1)
+
+(* The stencil whose interchange is enabled only by reversing J (same
+   program as the Permute unit test). No built-in kernel needs a
+   reversal, so the case is built directly. *)
+let reversal_program () =
+  let open Builder in
+  let nn = v "N" in
+  program "stencil"
+    ~params:[ ("N", 16) ]
+    ~arrays:[ ("A", [ nn; nn ]) ]
+    [
+      do_ "I" (i 2) nn
+        [
+          do_ "J" (i 1) (nn -$ i 1)
+            [
+              asn (r "A" [ v "I"; v "J" ])
+                (ld "A" [ v "I" -$ i 1; v "J" +$ i 1 ] +! f 1.0);
+            ];
+        ];
+    ]
+
+let test_explain_reversal_case () =
+  let ex = Stats.Explain.run ~name:"stencil" (reversal_program ()) in
+  checki "one nest" 1 (List.length (Stats.Explain.entries ex));
+  match Stats.Explain.entries ex with
+  | [ { Stats.Explain.decision = d; _ } ] ->
+    checkb "action is reverse" true (d.Event.action = Event.Reverse);
+    checks "achieved order" "J,I"
+      (String.concat ","
+         (match d.Event.achieved_orders with o :: _ -> o | [] -> []))
+  | _ -> assert false
+
+let test_explain_deterministic () =
+  (* The same program must explain identically run-to-run (each [mk]
+     call mints fresh statement labels, so build the program once). *)
+  List.iter
+    (fun name ->
+      let p = (List.assoc name Suite.Kernels.all) 16 in
+      let ex1 = Stats.Explain.run ~name p in
+      let ex2 = Stats.Explain.run ~name p in
+      checks (name ^ " render repeatable") (Stats.Explain.render ex1)
+        (Stats.Explain.render ex2);
+      checks (name ^ " json repeatable") (Stats.Explain.to_json ex1)
+        (Stats.Explain.to_json ex2))
+    [ "matmul"; "cholesky"; "erlebacher_dist" ]
+
+let test_explain_json_valid () =
+  List.iter
+    (fun name ->
+      checkb (name ^ " json parses") true
+        (json_valid (Stats.Explain.to_json (explain_of_kernel name))))
+    [ "matmul"; "cholesky"; "btrix" ]
+
+(* --------------------------------------------- chrome exporter ----- *)
+
+let test_chrome_json_valid () =
+  let ex = explain_of_kernel "cholesky" in
+  let (), extra =
+    Obs.collect (fun () ->
+        (* Args with every character class the escaper must handle. *)
+        Obs.span "weird\"name\\" ~args:[ ("k\n", "v\t\"quoted\"") ] (fun () ->
+            Obs.counter "c" 2);
+        Obs.instant "i" ~args:[ ("ctl", String.make 1 (Char.chr 1)) ])
+  in
+  let doc = Chrome.to_string (Stats.Explain.events ex @ extra) in
+  checkb "chrome document parses" true (json_valid doc);
+  checkb "empty stream parses" true (json_valid (Chrome.to_string []))
+
+(* ------------------------------------------ measurement purity ----- *)
+
+let test_obs_does_not_change_measurements () =
+  let mk = List.assoc "matmul" Suite.Kernels.all in
+  let p = mk 24 in
+  let quiet = Locality_interp.Measure.measure p in
+  let traced, _events =
+    Obs.collect (fun () -> Locality_interp.Measure.measure p)
+  in
+  let open Locality_interp.Measure in
+  checkb "same modelled seconds" true (quiet.seconds = traced.seconds);
+  checki "same accesses" quiet.whole.accesses traced.whole.accesses;
+  checki "same hits" quiet.whole.hits traced.whole.hits;
+  checki "same cold misses" quiet.whole.cold traced.whole.cold
+
+let suite =
+  [
+    ("json validator sanity", `Quick, test_json_validator);
+    ("pool merge deterministic across jobs", `Quick, test_pool_merge_deterministic);
+    ("span closed by exception", `Quick, test_span_exception_propagates);
+    ("disabled sink records nothing", `Quick, test_disabled_records_nothing);
+    ("summary aggregation", `Quick, test_summary_aggregation);
+    ("explain: decision per nest_stat, all kernels", `Quick, test_explain_counts_all_kernels);
+    ("explain: distribution case", `Quick, test_explain_distribution_case);
+    ("explain: reversal case", `Quick, test_explain_reversal_case);
+    ("explain: deterministic output", `Quick, test_explain_deterministic);
+    ("explain: JSON parses", `Quick, test_explain_json_valid);
+    ("chrome trace JSON parses", `Quick, test_chrome_json_valid);
+    ("tracing does not change measurements", `Quick, test_obs_does_not_change_measurements);
+  ]
