@@ -6,9 +6,16 @@
    Usage:
      main.exe [-j N]           run every table and figure
      main.exe [-j N] <id> ...  run selected: fig2 fig3 fig7 table1 table2
-                               table3 table4 table5 fig8 fig9
+                               table3 table4 table5 fig8 fig9 tracestats
      main.exe bechamel         run the Bechamel wall-clock benchmarks
      main.exe csv DIR          export tables 2/3/4 as CSV into DIR
+
+   tracestats captures the Table 4 workload in both trace formats
+   (MEMORIA_REPLAY=per-access vs the default run-compressed v2) and
+   prints record counts and compression ratios; its output is
+   independent of the MEMORIA_REPLAY setting, so CI's A/B smoke — which
+   diffs the printed tables across the two modes byte-for-byte — is
+   unaffected by it.
 
    Experiments are independent string-producing jobs, so they run on the
    domain pool ([-j N] or MEMORIA_JOBS, sequential at 1) and print in
@@ -18,8 +25,39 @@ module Stats = Locality_stats
 module Pool = Locality_par.Pool
 module Obs = Locality_obs.Obs
 module Chrome = Locality_obs.Chrome
+module Measure = Locality_interp.Measure
 
 let table2_rows = lazy (Stats.Table2.compute ())
+
+(* Capture the Table 4 workload (both program versions per row, same N)
+   in one trace format and total the stream statistics. *)
+let tracestats () =
+  let rows = Lazy.force table2_rows in
+  let tally mode =
+    List.fold_left
+      (fun acc (r : Stats.Table2.row) ->
+        if r.Stats.Table2.nests = 0 then acc
+        else
+          let add (recs, words, groups) p =
+            let cap = Measure.capture ~mode ~params:[ ("N", 32) ] p in
+            let r', w', g' = Measure.trace_stats cap in
+            (recs + r', words + w', groups + g')
+          in
+          add (add acc r.Stats.Table2.original) r.Stats.Table2.transformed)
+      (0, 0, 0) rows
+  in
+  let line name (recs, words, groups) =
+    Printf.sprintf "%-12s %14d %14d %10d %8.2fx" name recs words groups
+      (float_of_int recs /. float_of_int words)
+  in
+  String.concat "\n"
+    [
+      "Trace capture statistics (Table 4 workload, N=32, both versions)";
+      Printf.sprintf "%-12s %14s %14s %10s %8s" "mode" "records"
+        "words stored" "groups" "ratio";
+      line "per-access" (tally Measure.Per_access);
+      line "runs" (tally Measure.Runs);
+    ]
 
 let experiments : (string * (unit -> string)) list =
   [
@@ -43,6 +81,7 @@ let experiments : (string * (unit -> string)) list =
     ("ablation-interference", fun () -> Stats.Ablation.interference ());
     ("ablation-step3", fun () -> Stats.Ablation.step3 ());
     ("ablation-tilesize", fun () -> Stats.Ablation.tilesize ());
+    ("tracestats", tracestats);
   ]
 
 (* ------------------------------------------------- native kernels ---- *)

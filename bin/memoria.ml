@@ -546,7 +546,20 @@ let main =
     (Cmd.info "memoria" ~version:"1.0.0"
        ~doc:
          "Compiler optimizations for improving data locality (Carr, \
-          McKinley & Tseng, ASPLOS 1994).")
+          McKinley & Tseng, ASPLOS 1994)."
+       ~envs:
+         [
+           Cmd.Env.info "MEMORIA_JOBS"
+             ~doc:
+               "Domain-pool size for parallel simulations (1 = sequential; \
+                output is identical at any value).";
+           Cmd.Env.info "MEMORIA_REPLAY"
+             ~doc:
+               "Trace format for capture/replay: $(b,per-access) forces the \
+                flat v1 record stream; any other value (or unset) uses the \
+                run-compressed v2 format, which is several times faster and \
+                produces bit-identical statistics.";
+         ])
     [
       opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
       cgen_cmd; kernels_cmd; suite_cmd;

@@ -61,14 +61,43 @@ val simulate_chunk : t -> ?marked:bool array -> ?region:region -> Chunk.t -> uni
     interned label id) and [region] are given, accesses whose label is
     marked are also tallied into [region]. *)
 
+type run_metrics = {
+  mutable m_groups : int;  (** run groups replayed *)
+  mutable m_boundaries : int;  (** iterations processed with set lookups *)
+  mutable m_bulk_iters : int;  (** iterations bulk-advanced as all-hit *)
+  mutable m_fallbacks : int;  (** windows degraded by same-set conflicts *)
+}
+
+val fresh_run_metrics : unit -> run_metrics
+
+val simulate_runs :
+  t -> ?marked:bool array -> ?region:region -> ?metrics:run_metrics ->
+  Runchunk.t -> unit
+(** Replay a v2 run chunk ({!Runchunk}). Statistics — including [region]
+    tallies — are bit-identical to expanding every group round-robin and
+    replaying per access, but for groups whose references all advance by
+    less than a line per iteration the simulator is event-driven: set
+    lookups and evictions happen only on line-boundary-crossing
+    iterations, and the all-hit interior of each window bulk-advances
+    hits, clock, LRU ages and region counts. Windows where two
+    references hold different lines of one set, and groups containing a
+    reference that crosses a line every iteration, use the exact
+    per-access path instead. *)
+
 val stats : t -> stats
 val reset : t -> unit
 (** Clear contents and statistics, including cold-miss tracking. *)
 
+val rate_of_counts :
+  ?exclude_cold:bool -> accesses:int -> hits:int -> cold:int -> unit -> float
+(** Shared hit-rate definition (also used by [Measure.hit_rate]): 100.0
+    when there are no accesses at all, but 0.0 when accesses > 0 and the
+    denominator is empty because every access was a cold miss. *)
+
 val hit_rate : ?exclude_cold:bool -> stats -> float
 (** Hits over accesses, in percent; with [exclude_cold] (default true,
-    as in Table 4) cold misses are removed from the denominator. 100.0
-    when there are no qualifying accesses. *)
+    as in Table 4) cold misses are removed from the denominator. See
+    {!rate_of_counts} for the degenerate cases. *)
 
 val num_sets : t -> int
 val lines_touched : t -> int

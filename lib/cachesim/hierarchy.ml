@@ -55,6 +55,12 @@ let simulate_chunk t (c : Chunk.t) =
     ignore (access t ~write:(Chunk.write r) (Chunk.addr r))
   done
 
+(* Run-chunk replay: groups are expanded to their access sequence (the
+   two-level exchange makes window reasoning much hairier for little
+   gain — hierarchy replay is off the hot path). *)
+let simulate_runs t (rc : Runchunk.t) =
+  Runchunk.iter rc (fun ~label:_ ~addr ~write -> ignore (access t ~write addr))
+
 let l1_stats t = Cache.stats t.l1
 let l2_stats t = Cache.stats t.l2
 let writebacks t = t.writebacks

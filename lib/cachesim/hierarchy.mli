@@ -18,6 +18,10 @@ val simulate_chunk : t -> Chunk.t -> unit
 (** Replay a chunk of packed trace records, one {!access} per record in
     order; statistics are identical to the per-access path. *)
 
+val simulate_runs : t -> Runchunk.t -> unit
+(** Replay a v2 run chunk by expanding groups to their access sequence
+    ({!Runchunk.iter}); statistics are identical to per-access replay. *)
+
 val l1_stats : t -> Cache.stats
 val l2_stats : t -> Cache.stats
 val writebacks : t -> int

@@ -68,12 +68,11 @@ let histogram t =
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) t.dist []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let predicted_hit_rate ?(exclude_cold = true) t ~lines =
+let predicted_hit_rate ?exclude_cold t ~lines =
   let hits =
     Hashtbl.fold (fun d c acc -> if d < lines then acc + c else acc) t.dist 0
   in
-  let denom = if exclude_cold then t.accesses - t.cold else t.accesses in
-  if denom <= 0 then 100.0 else 100.0 *. float_of_int hits /. float_of_int denom
+  Cache.rate_of_counts ?exclude_cold ~accesses:t.accesses ~hits ~cold:t.cold ()
 
 let mean_distance t =
   let total, count =

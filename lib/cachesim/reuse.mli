@@ -29,7 +29,8 @@ val histogram : t -> (int * int) list
 val predicted_hit_rate : ?exclude_cold:bool -> t -> lines:int -> float
 (** Hit rate (percent) of a fully associative LRU cache with the given
     capacity in lines; cold accesses excluded from the denominator by
-    default. 100.0 when no qualifying accesses. *)
+    default. Same conventions as {!Cache.rate_of_counts}: 100.0 when
+    there were no accesses, 0.0 when every access was cold. *)
 
 val mean_distance : t -> float
 (** Average finite reuse distance; 0 when there is none. *)

@@ -1,4 +1,5 @@
 module Layout = Locality_cachesim.Layout
+module Chunk = Locality_cachesim.Chunk
 
 type result = {
   arrays : (string * float array) list;
@@ -60,11 +61,86 @@ let rec compile_expr slots (e : Expr.t) : ctx -> int =
       let d = fb c in
       if d = 0 then invalid_arg "Fastexec: division by zero" else fa c / d
 
+let rec mentions x (e : Expr.t) =
+  match e with
+  | Expr.Int _ -> false
+  | Expr.Var y -> String.equal x y
+  | Expr.Neg a -> mentions x a
+  | Expr.Add (a, b)
+  | Expr.Sub (a, b)
+  | Expr.Mul (a, b)
+  | Expr.Min (a, b)
+  | Expr.Max (a, b)
+  | Expr.Div (a, b) -> mentions x a || mentions x b
+
+(* [deriv slots idx e] is d[e]/d[idx] as a closure, when [e] is affine
+   in [idx] *within one innermost-loop instance*: a subexpression that
+   never mentions [idx] is invariant while that loop runs (the body
+   cannot write integers), whatever operators it contains, so only the
+   [idx]-bearing spine must be built from +/-/negate and multiplication
+   by an invariant factor. MIN/MAX/DIV over [idx] are not affine and
+   disqualify the reference. *)
+let rec deriv slots idx (e : Expr.t) : (ctx -> int) option =
+  if not (mentions idx e) then Some (fun _ -> 0)
+  else
+    match e with
+    | Expr.Int _ -> Some (fun _ -> 0)
+    | Expr.Var _ -> Some (fun _ -> 1) (* mentions idx, so it is idx *)
+    | Expr.Neg a -> (
+      match deriv slots idx a with
+      | Some f -> Some (fun c -> -f c)
+      | None -> None)
+    | Expr.Add (a, b) -> (
+      match (deriv slots idx a, deriv slots idx b) with
+      | Some fa, Some fb -> Some (fun c -> fa c + fb c)
+      | _ -> None)
+    | Expr.Sub (a, b) -> (
+      match (deriv slots idx a, deriv slots idx b) with
+      | Some fa, Some fb -> Some (fun c -> fa c - fb c)
+      | _ -> None)
+    | Expr.Mul (a, b) ->
+      if not (mentions idx a) then
+        match deriv slots idx b with
+        | Some db ->
+          let fa = compile_expr slots a in
+          Some (fun c -> fa c * db c)
+        | None -> None
+      else if not (mentions idx b) then
+        match deriv slots idx a with
+        | Some da ->
+          let fb = compile_expr slots b in
+          Some (fun c -> da c * fb c)
+        | None -> None
+      else None
+    | Expr.Min _ | Expr.Max _ | Expr.Div _ -> None
+
 (* How the compiled program reports array accesses: not at all, through
-   the legacy per-access observer closure, or appended to a batched trace
-   buffer (label ids interned once at compile time, so the hot path is a
-   couple of array stores). *)
-type mode = Silent | Observe of Exec.observer | Buffer of Trace.t
+   the legacy per-access observer closure, appended to a batched trace
+   buffer, or appended to a run-compressed v2 buffer (both buffers
+   intern label ids once at compile time, so the hot path is a couple
+   of array stores — and qualifying innermost loops in run mode emit
+   one group descriptor per instance instead of touching the buffer
+   per access at all). *)
+type mode =
+  | Silent
+  | Observe of Exec.observer
+  | Buffer of Trace.t
+  | Runbuf of Trace.runbuf
+
+(* References of one statement in execution order: loads left-to-right
+   as [compile_rexpr] evaluates them, then the store. *)
+let stmt_refs_in_order (st : Stmt.t) =
+  let rec loads (e : Stmt.rexpr) =
+    match e with
+    | Stmt.Const _ | Stmt.Scalar _ | Stmt.Iexpr _ -> []
+    | Stmt.Load r -> [ (st.Stmt.label, r, false) ]
+    | Stmt.Unop (_, a) -> loads a
+    | Stmt.Binop (_, a, b) -> loads a @ loads b
+  in
+  loads st.Stmt.rhs
+  @ (match st.Stmt.lhs with
+    | Stmt.Store r -> [ (st.Stmt.label, r, true) ]
+    | Stmt.Scalar_set _ -> [])
 
 let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
   let params =
@@ -94,7 +170,7 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
   let sslots = new_slots () in
   List.iter (fun (x, _) -> ignore (slot_of slots x)) params;
   (* Per-array strides (column-major) and base addresses. *)
-  let strides = Hashtbl.create 16 in
+  let layout_strides = Hashtbl.create 16 in
   List.iter
     (fun (d : Decl.t) ->
       let exts = List.map (fun e -> Expr.eval e param) d.Decl.extents in
@@ -103,12 +179,12 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
       List.iteri (fun k e -> if k < n - 1 then s.(k + 1) <- s.(k) * e) exts;
       let base = Layout.address layout d.Decl.name (Array.make n 1) in
       let elem = Layout.elem_size layout d.Decl.name in
-      Hashtbl.replace strides d.Decl.name (s, base, elem))
+      Hashtbl.replace layout_strides d.Decl.name (s, base, elem))
     p.Program.decls;
   (* Compile a reference into an (offset, address) pair of closures. *)
   let compile_access (r : Reference.t) =
     let arr = Hashtbl.find data r.Reference.array in
-    let s, base, elem = Hashtbl.find strides r.Reference.array in
+    let s, base, elem = Hashtbl.find layout_strides r.Reference.array in
     let subs = Array.of_list (List.map (compile_expr slots) r.Reference.subs) in
     let n = Array.length subs in
     let offset c =
@@ -120,7 +196,25 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
     in
     (arr, offset, base, elem)
   in
-  let rec compile_rexpr label (e : Stmt.rexpr) : ctx -> float =
+  (* Byte stride per loop iteration of a reference, as a loop-invariant
+     closure — when every subscript is affine in [idx]. *)
+  let compile_stride ~idx ~step (r : Reference.t) =
+    let s, _, elem = Hashtbl.find layout_strides r.Reference.array in
+    let rec go k (subs : Expr.t list) =
+      match subs with
+      | [] -> Some (fun _ -> 0)
+      | sub :: rest -> (
+        match (deriv slots idx sub, go (k + 1) rest) with
+        | Some d, Some tail ->
+          let sk = s.(k) in
+          Some (fun c -> (sk * d c) + tail c)
+        | _ -> None)
+    in
+    match go 0 r.Reference.subs with
+    | Some slope -> Some (fun c -> step * elem * slope c)
+    | None -> None
+  in
+  let rec compile_rexpr mode label (e : Stmt.rexpr) : ctx -> float =
     match e with
     | Stmt.Const v -> fun _ -> v
     | Stmt.Scalar x ->
@@ -146,12 +240,20 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
           c.accesses <- c.accesses + 1;
           Trace.record tr ~label:lid ~addr:(base + (off * elem)) ~write:false;
           Array.get arr off
+      | Runbuf rb ->
+        let lid = Trace.run_intern rb label in
+        fun c ->
+          let off = offset c in
+          c.accesses <- c.accesses + 1;
+          Trace.run_record rb ~label:lid ~addr:(base + (off * elem))
+            ~write:false;
+          Array.get arr off
       | Silent ->
         fun c ->
           c.accesses <- c.accesses + 1;
           Array.get arr (offset c))
     | Stmt.Unop (op, a) ->
-      let fa = compile_rexpr label a in
+      let fa = compile_rexpr mode label a in
       let g =
         match op with
         | Stmt.Fneg -> Float.neg
@@ -166,7 +268,7 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
         c.ops <- c.ops + 1;
         g v
     | Stmt.Binop (op, a, b) ->
-      let fa = compile_rexpr label a and fb = compile_rexpr label b in
+      let fa = compile_rexpr mode label a and fb = compile_rexpr mode label b in
       let g =
         match op with
         | Stmt.Fadd -> ( +. )
@@ -182,9 +284,9 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
         c.ops <- c.ops + 1;
         g va vb
   in
-  let compile_stmt (st : Stmt.t) : ctx -> unit =
+  let compile_stmt mode (st : Stmt.t) : ctx -> unit =
     let label = st.Stmt.label in
-    let rhs = compile_rexpr label st.Stmt.rhs in
+    let rhs = compile_rexpr mode label st.Stmt.rhs in
     match st.Stmt.lhs with
     | Stmt.Store r -> (
       let arr, offset, base, elem = compile_access r in
@@ -208,6 +310,16 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
           c.accesses <- c.accesses + 1;
           Trace.record tr ~label:lid ~addr:(base + (off * elem)) ~write:true;
           Array.set arr off v
+      | Runbuf rb ->
+        let lid = Trace.run_intern rb label in
+        fun c ->
+          c.iterations <- c.iterations + 1;
+          let v = rhs c in
+          let off = offset c in
+          c.accesses <- c.accesses + 1;
+          Trace.run_record rb ~label:lid ~addr:(base + (off * elem))
+            ~write:true;
+          Array.set arr off v
       | Silent ->
         fun c ->
           c.iterations <- c.iterations + 1;
@@ -222,30 +334,37 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
           c.iterations <- c.iterations + 1;
           observer.Exec.on_stmt ~label;
           c.scalars.(i) <- rhs c
-      | Buffer _ | Silent ->
+      | Buffer _ | Runbuf _ | Silent ->
         fun c ->
           c.iterations <- c.iterations + 1;
           c.scalars.(i) <- rhs c)
   in
-  let rec compile_block (b : Loop.block) : ctx -> unit =
+  let rec compile_block mode (b : Loop.block) : ctx -> unit =
     let fns =
       List.map
         (function
-          | Loop.Stmt st -> compile_stmt st
-          | Loop.Loop l -> compile_loop l)
+          | Loop.Stmt st -> compile_stmt mode st
+          | Loop.Loop l -> compile_loop mode l)
         b
     in
     match fns with
     | [ f ] -> f
     | [ f; g ] -> fun c -> f c; g c
     | fns -> fun c -> List.iter (fun f -> f c) fns
-  and compile_loop (l : Loop.t) : ctx -> unit =
+  and compile_loop mode (l : Loop.t) : ctx -> unit =
+    match mode with
+    | Runbuf rb -> (
+      match compile_run_loop rb l with
+      | Some f -> f
+      | None -> compile_loop_plain mode l)
+    | Silent | Observe _ | Buffer _ -> compile_loop_plain mode l
+  and compile_loop_plain mode (l : Loop.t) : ctx -> unit =
     let h = l.Loop.header in
     let islot = slot_of slots h.Loop.index in
     let flb = compile_expr slots h.Loop.lb in
     let fub = compile_expr slots h.Loop.ub in
     let step = h.Loop.step in
-    let body = compile_block l.Loop.body in
+    let body = compile_block mode l.Loop.body in
     if step > 0 then (fun c ->
       let ub = fub c in
       let i = ref (flb c) in
@@ -262,8 +381,101 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
         body c;
         i := !i + step
       done
+  (* An innermost loop (straight-line body, no inner control flow) whose
+     references all advance by a loop-invariant byte stride compresses
+     to one strided-run group per loop instance: the group descriptor is
+     emitted at loop entry (base addresses and strides evaluated with
+     the index at its lower bound), and the body then runs with silent
+     accesses — replaying the group round-robin reproduces the exact
+     per-iteration interleaving the per-access trace would have had. *)
+  and compile_run_loop rb (l : Loop.t) : (ctx -> unit) option =
+    let h = l.Loop.header in
+    let idx = h.Loop.index in
+    let step = h.Loop.step in
+    if
+      not
+        (List.for_all
+           (function Loop.Stmt _ -> true | Loop.Loop _ -> false)
+           l.Loop.body)
+    then None
+    else begin
+      let refs =
+        List.concat_map
+          (function
+            | Loop.Stmt st -> stmt_refs_in_order st
+            | Loop.Loop _ -> assert false)
+          l.Loop.body
+      in
+      let compiled =
+        List.map
+          (fun (label, r, write) ->
+            match compile_stride ~idx ~step r with
+            | Some stride_fn ->
+              let _, offset, base, elem = compile_access r in
+              let addr_fn c = base + (offset c * elem) in
+              let lid = Trace.run_intern rb label in
+              Some (Chunk.pack ~addr:0 ~write ~label:lid, addr_fn, stride_fn)
+            | None -> None)
+          refs
+      in
+      if List.exists Option.is_none compiled then None
+      else begin
+        let compiled = List.filter_map Fun.id compiled in
+        let n = List.length compiled in
+        let packed = Array.of_list (List.map (fun (p, _, _) -> p) compiled) in
+        let addr_fns =
+          Array.of_list (List.map (fun (_, a, _) -> a) compiled)
+        in
+        let stride_fns =
+          Array.of_list (List.map (fun (_, _, s) -> s) compiled)
+        in
+        (* Scratch reused across instances: one compiled loop never
+           re-enters itself (no recursion, one ctx per run). *)
+        let bases = Array.make (max n 1) 0 in
+        let strides_rt = Array.make (max n 1) 0 in
+        let islot = slot_of slots idx in
+        let flb = compile_expr slots h.Loop.lb in
+        let fub = compile_expr slots h.Loop.ub in
+        let body = compile_block Silent l.Loop.body in
+        Some
+          (fun c ->
+            let lb = flb c in
+            let ub = fub c in
+            let trip =
+              if step > 0 then if lb > ub then 0 else ((ub - lb) / step) + 1
+              else if lb < ub then 0
+              else ((lb - ub) / -step) + 1
+            in
+            if trip > 0 then begin
+              if n > 0 then begin
+                c.ienv.(islot) <- lb;
+                for j = 0 to n - 1 do
+                  bases.(j) <- addr_fns.(j) c;
+                  strides_rt.(j) <- stride_fns.(j) c
+                done;
+                Trace.run_group rb ~trip ~packed ~bases ~strides:strides_rt n
+              end;
+              if step > 0 then begin
+                let i = ref lb in
+                while !i <= ub do
+                  c.ienv.(islot) <- !i;
+                  body c;
+                  i := !i + step
+                done
+              end
+              else begin
+                let i = ref lb in
+                while !i >= ub do
+                  c.ienv.(islot) <- !i;
+                  body c;
+                  i := !i + step
+                done
+              end
+            end)
+      end
+    end
   in
-  let main = compile_block p.Program.body in
+  let main = compile_block mode p.Program.body in
   (* Bound the slot count: compile touched every variable. *)
   let nints = max 1 (Hashtbl.length slots.tbl) in
   let nscal = max 1 (Hashtbl.length sslots.tbl) in
@@ -278,7 +490,10 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
   in
   List.iter (fun (x, v) -> ctx.ienv.(Hashtbl.find slots.tbl x) <- v) params;
   main ctx;
-  (match mode with Buffer tr -> Trace.flush tr | Observe _ | Silent -> ());
+  (match mode with
+  | Buffer tr -> Trace.flush tr
+  | Runbuf rb -> Trace.run_flush rb
+  | Observe _ | Silent -> ());
   {
     arrays =
       List.map
@@ -296,3 +511,5 @@ let run ?(observer = Exec.null_observer) ?init ?params p =
   exec ~mode ?init ?params p
 
 let run_traced ?init ?params tr p = exec ~mode:(Buffer tr) ?init ?params p
+
+let run_traced_runs ?init ?params rb p = exec ~mode:(Runbuf rb) ?init ?params p

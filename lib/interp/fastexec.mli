@@ -29,3 +29,17 @@ val run_traced :
     buffer instead of dispatched through an observer closure: statement
     labels are interned once at compile time, so the per-access cost is
     a packed-record store. The buffer is flushed before returning. *)
+
+val run_traced_runs :
+  ?init:(string -> int -> float) ->
+  ?params:(string * int) list ->
+  Trace.runbuf ->
+  Program.t ->
+  result
+(** Like {!run_traced}, but emitting the v2 run-compressed stream:
+    innermost loops whose body has no inner control flow and whose
+    array references all advance by a loop-invariant byte stride emit
+    one strided-run group descriptor per loop instance (the body then
+    executes with silent accesses); everything else falls back to
+    per-access records in the same stream. The expanded stream is
+    access-for-access identical to what {!run_traced} records. *)

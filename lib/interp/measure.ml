@@ -16,9 +16,9 @@ type run = {
   seconds : float;
 }
 
-let hit_rate ?(exclude_cold = true) r =
-  let denom = if exclude_cold then r.accesses - r.cold else r.accesses in
-  if denom <= 0 then 100.0 else 100.0 *. float_of_int r.hits /. float_of_int denom
+let hit_rate ?exclude_cold r =
+  Cache.rate_of_counts ?exclude_cold ~accesses:r.accesses ~hits:r.hits
+    ~cold:r.cold ()
 
 (* ------------------------------------------------- capture / replay --- *)
 
@@ -26,39 +26,89 @@ let hit_rate ?(exclude_cold = true) r =
    replayed against any number of cache configurations. Replay is
    deterministic (the simulator is a pure function of the record
    sequence), so every replay of the same capture agrees bit-for-bit
-   with the legacy interpret-per-config path. *)
+   with the legacy interpret-per-config path.
+
+   Two trace formats exist: the v1 per-access record stream and the v2
+   run-compressed stream, whose strided-run groups both shrink the
+   capture and let replay bulk-advance whole cache-line windows. The
+   formats produce bit-identical statistics (differentially tested), so
+   the choice is purely a performance knob: MEMORIA_REPLAY=per-access
+   forces v1, anything else (including unset) captures v2. *)
+
+type replay_mode = Per_access | Runs
+
+let replay_mode () =
+  match Sys.getenv_opt "MEMORIA_REPLAY" with
+  | Some "per-access" -> Per_access
+  | Some _ | None -> Runs
+
+type traced = V1 of Trace.captured | V2 of Trace.captured_runs
 
 type capture = {
-  trace : Trace.captured;
+  trace : traced;
   cap_ops : int;
 }
 
-let capture ?params (p : Program.t) =
+let trace_labels cap =
+  match cap.trace with
+  | V1 t -> t.Trace.trace_labels
+  | V2 t -> t.Trace.run_trace_labels
+
+let trace_stats cap =
+  match cap.trace with
+  | V1 t -> (t.Trace.records, t.Trace.records, 0)
+  | V2 t -> (t.Trace.run_records, t.Trace.run_stream_words, t.Trace.run_groups)
+
+let capture ?mode ?params (p : Program.t) =
+  let mode = match mode with Some m -> m | None -> replay_mode () in
   Obs.span "capture" (fun () ->
-      let tr, finish = Trace.capturing () in
-      let res = Fastexec.run_traced ?params tr p in
-      let cap = { trace = finish (); cap_ops = res.Fastexec.ops } in
-      if Obs.enabled () then begin
-        Obs.add_span_arg "records"
-          (string_of_int cap.trace.Trace.records);
-        Obs.add_span_arg "ops" (string_of_int cap.cap_ops)
-      end;
-      cap)
+      match mode with
+      | Per_access ->
+        let tr, finish = Trace.capturing () in
+        let res = Fastexec.run_traced ?params tr p in
+        let t = finish () in
+        if Obs.enabled () then begin
+          Obs.add_span_arg "format" "v1";
+          Obs.add_span_arg "records" (string_of_int t.Trace.records);
+          Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops)
+        end;
+        { trace = V1 t; cap_ops = res.Fastexec.ops }
+      | Runs ->
+        let rb, finish = Trace.run_capturing () in
+        let res = Fastexec.run_traced_runs ?params rb p in
+        let t = finish () in
+        if Obs.enabled () then begin
+          Obs.add_span_arg "format" "v2";
+          Obs.add_span_arg "records" (string_of_int t.Trace.run_records);
+          Obs.add_span_arg "stream_words"
+            (string_of_int t.Trace.run_stream_words);
+          Obs.add_span_arg "groups" (string_of_int t.Trace.run_groups);
+          Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops);
+          Obs.counter "trace.runs_emitted" t.Trace.run_groups;
+          Obs.counter "trace.records_compressed"
+            (t.Trace.run_records - t.Trace.run_stream_words)
+        end;
+        { trace = V2 t; cap_ops = res.Fastexec.ops })
 
 let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
     ?(optimized_labels = []) cap =
   Obs.span "replay" ~args:[ ("cache", config.Cache.name) ] (fun () ->
   let cache = Cache.create config in
   let marked =
-    Array.map
-      (fun l -> List.mem l optimized_labels)
-      cap.trace.Trace.trace_labels
+    Array.map (fun l -> List.mem l optimized_labels) (trace_labels cap)
   in
   let reg = Cache.fresh_region () in
   let chunks = ref 0 in
-  Trace.iter_chunks cap.trace (fun c ->
-      incr chunks;
-      Cache.simulate_chunk cache ~marked ~region:reg c);
+  let metrics = Cache.fresh_run_metrics () in
+  (match cap.trace with
+  | V1 t ->
+    Trace.iter_chunks t (fun c ->
+        incr chunks;
+        Cache.simulate_chunk cache ~marked ~region:reg c)
+  | V2 t ->
+    Trace.iter_run_chunks t (fun rc ->
+        incr chunks;
+        Cache.simulate_runs cache ~marked ~region:reg ~metrics rc));
   let s = Cache.stats cache in
   if Obs.enabled () then begin
     Obs.add_span_arg "accesses" (string_of_int s.Cache.accesses);
@@ -68,7 +118,18 @@ let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
     Obs.counter "cache.accesses" s.Cache.accesses;
     Obs.counter "cache.hits" s.Cache.hits;
     Obs.counter "cache.cold" s.Cache.cold_misses;
-    Obs.counter "chunks.replayed" !chunks
+    Obs.counter "chunks.replayed" !chunks;
+    if metrics.Cache.m_groups > 0 || metrics.Cache.m_fallbacks > 0 then begin
+      Obs.add_span_arg "run_groups" (string_of_int metrics.Cache.m_groups);
+      Obs.add_span_arg "boundary_events"
+        (string_of_int metrics.Cache.m_boundaries);
+      Obs.add_span_arg "bulk_iters" (string_of_int metrics.Cache.m_bulk_iters);
+      Obs.add_span_arg "fallbacks" (string_of_int metrics.Cache.m_fallbacks);
+      Obs.counter "replay.run_groups" metrics.Cache.m_groups;
+      Obs.counter "replay.boundary_events" metrics.Cache.m_boundaries;
+      Obs.counter "replay.bulk_iters" metrics.Cache.m_bulk_iters;
+      Obs.counter "replay.fallbacks" metrics.Cache.m_fallbacks
+    end
   end;
   let whole =
     {
@@ -111,9 +172,15 @@ let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) cap =
       let module H = Locality_cachesim.Hierarchy in
       let h = H.create ~l1 ~l2 in
       let chunks = ref 0 in
-      Trace.iter_chunks cap.trace (fun c ->
-          incr chunks;
-          H.simulate_chunk h c);
+      (match cap.trace with
+      | V1 t ->
+        Trace.iter_chunks t (fun c ->
+            incr chunks;
+            H.simulate_chunk h c)
+      | V2 t ->
+        Trace.iter_run_chunks t (fun rc ->
+            incr chunks;
+            H.simulate_runs h rc));
       if Obs.enabled () then begin
         let s1 = H.l1_stats h in
         Obs.add_span_arg "l1_accesses" (string_of_int s1.Cache.accesses);

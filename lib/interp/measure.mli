@@ -22,16 +22,35 @@ type run = {
 
 val hit_rate : ?exclude_cold:bool -> region -> float
 (** In percent; cold misses excluded from the denominator by default, as
-    in Table 4. 100.0 when no qualifying accesses. *)
+    in Table 4. Delegates to {!Cache.rate_of_counts}: 100.0 when the
+    region saw no accesses at all, 0.0 when every access was a cold miss
+    (no reuse to score). *)
+
+type replay_mode = Per_access | Runs
+(** Trace format selector. [Per_access] is the v1 flat record stream;
+    [Runs] is the v2 run-compressed stream whose strided-run groups
+    both shrink the capture and let replay bulk-advance whole
+    cache-line windows. Statistics are bit-identical either way. *)
+
+val replay_mode : unit -> replay_mode
+(** The mode selected by the [MEMORIA_REPLAY] environment variable:
+    ["per-access"] forces v1; any other value, or unset, selects v2. *)
 
 type capture
 (** A program's batched address trace plus its operation count: the
     program is interpreted once ({!capture}) and the trace replayed
     against any number of cache configurations ({!replay},
     {!replay_hierarchy}). Replay statistics are bit-identical to the
-    legacy interpret-per-config observer path. *)
+    legacy interpret-per-config observer path, in either trace format. *)
 
-val capture : ?params:(string * int) list -> Program.t -> capture
+val capture :
+  ?mode:replay_mode -> ?params:(string * int) list -> Program.t -> capture
+(** [mode] defaults to {!replay_mode}[ ()]. *)
+
+val trace_stats : capture -> int * int * int
+(** [(records, stream_words, groups)]: logical access count, words
+    actually stored, and strided-run groups in the capture. A v1
+    capture stores one word per record and no groups. *)
 
 val replay :
   ?config:Cache.config ->

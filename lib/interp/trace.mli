@@ -57,3 +57,62 @@ val capturing : ?chunk_records:int -> unit -> t * (unit -> captured)
 
 val iter_chunks : captured -> (Chunk.t -> unit) -> unit
 val iter : captured -> (label:int -> addr:int -> write:bool -> unit) -> unit
+
+(** {1 v2: run-compressed trace buffers}
+
+    The run-aware buffer behind {!Fastexec.run_traced_runs}: per-access
+    records and strided-run group descriptors share one
+    {!Locality_cachesim.Runchunk} stream, so a qualifying innermost-loop
+    instance costs [1 + 2*nrefs] words instead of [trip * nrefs]
+    records. Capacity is counted in stream words. *)
+
+module Runchunk = Locality_cachesim.Runchunk
+
+type runbuf
+
+val run_create :
+  ?chunk_words:int -> sink:(Runchunk.t -> unit) -> unit -> runbuf
+(** Same sink-borrowing contract as {!create}. *)
+
+val run_intern : runbuf -> string -> int
+val run_labels : runbuf -> string array
+
+val run_record : runbuf -> label:int -> addr:int -> write:bool -> unit
+(** Append one per-access record (the fallback for loops that do not
+    qualify for run compression). *)
+
+val run_group :
+  runbuf -> trip:int -> packed:int array -> bases:int array ->
+  strides:int array -> int -> unit
+(** [run_group t ~trip ~packed ~bases ~strides n] appends one
+    [n]-reference strided-run group; [packed.(j)] is a {!Chunk}-packed
+    record with a zero address field (label id and write flag,
+    precomputed at closure-compile time), [bases]/[strides] the byte
+    base address and per-iteration byte stride of each reference for
+    this loop instance. Groups that cannot fit even an empty chunk
+    degrade to per-access records, so emission never fails. *)
+
+val run_flush : runbuf -> unit
+val run_total : runbuf -> int
+(** Logical accesses represented (groups expanded). *)
+
+val run_runs : runbuf -> int
+val run_words : runbuf -> int
+
+type captured_runs = {
+  run_chunks : Runchunk.t list;  (** in recording order, independently owned *)
+  run_trace_labels : string array;
+  run_records : int;  (** logical accesses, groups expanded *)
+  run_groups : int;
+  run_stream_words : int;
+}
+
+val run_capturing :
+  ?chunk_words:int -> unit -> runbuf * (unit -> captured_runs)
+
+val iter_run_chunks : captured_runs -> (Runchunk.t -> unit) -> unit
+
+val iter_runs :
+  captured_runs -> (label:int -> addr:int -> write:bool -> unit) -> unit
+(** Expanded access sequence, identical to what per-access capture of
+    the same program records. *)

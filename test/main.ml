@@ -17,5 +17,6 @@ let () =
       ("cgen", Test_cgen.suite);
       ("units", Test_units.suite);
       ("trace", Test_trace.suite);
+      ("runs", Test_runs.suite);
       ("obs", Test_obs.suite);
     ]
