@@ -26,6 +26,24 @@ module Pool = Locality_par.Pool
 module Obs = Locality_obs.Obs
 module Chrome = Locality_obs.Chrome
 module Measure = Locality_interp.Measure
+module Store = Locality_store.Store
+
+(* With MEMORIA_STORE set, say how the store did: a stderr summary line
+   CI parses for the warm-run hit rate (stdout stays byte-identical). *)
+let () =
+  match Store.default () with
+  | None -> ()
+  | Some _ ->
+    at_exit (fun () ->
+        let c = Store.counters () in
+        let looked_up = c.Store.hits + c.Store.misses in
+        let rate =
+          if looked_up = 0 then 0.0
+          else 100.0 *. float_of_int c.Store.hits /. float_of_int looked_up
+        in
+        Printf.eprintf
+          "store: %d hits %d misses %d writes (%.1f%% hit rate)\n%!"
+          c.Store.hits c.Store.misses c.Store.writes rate)
 
 let table2_rows = lazy (Stats.Table2.compute ())
 

@@ -13,42 +13,23 @@ module Machine = Locality_cachesim.Machine
 module Stats = Locality_stats
 module Obs = Locality_obs.Obs
 module Chrome = Locality_obs.Chrome
+module Driver = Locality_driver.Driver
+module Store = Locality_store.Store
 open Locality_ir
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* All loading and measuring goes through the Driver pipeline; the
+   subcommands only parse flags and format output. *)
+
+let source_of ~kernel ~file =
+  match (kernel, file) with
+  | Some name, _ -> Ok (Driver.Source_kernel name)
+  | None, Some path -> Ok (Driver.Source_file path)
+  | None, None -> Error "give a FILE or --kernel NAME"
 
 let load ~kernel ~file ~n =
-  match (kernel, file) with
-  | Some name, _ -> (
-    match List.assoc_opt name Suite.Kernels.all with
-    | Some mk -> Ok (mk (Option.value n ~default:64))
-    | None ->
-      Error
-        (Printf.sprintf "unknown kernel %s (try: %s)" name
-           (String.concat ", " (List.map fst Suite.Kernels.all))))
-  | None, Some path -> (
-    try
-      let p =
-        Obs.span "parse" ~args:[ ("file", path) ] (fun () ->
-            Locality_lang.Lower.parse_program (read_file path))
-      in
-      match n with
-      | None -> Ok p
-      | Some n ->
-        Ok { p with Program.params = List.map (fun (x, _) -> (x, n)) p.Program.params }
-    with
-    | Sys_error msg -> Error msg
-    | Locality_lang.Lexer.Error (msg, line) ->
-      Error (Printf.sprintf "%s:%d: lexical error: %s" path line msg)
-    | Locality_lang.Parser.Error (msg, line) ->
-      Error (Printf.sprintf "%s:%d: syntax error: %s" path line msg)
-    | Locality_lang.Lower.Error msg ->
-      Error (Printf.sprintf "%s: %s" path msg))
-  | None, None -> Error "give a FILE or --kernel NAME"
+  match source_of ~kernel ~file with
+  | Error msg -> Error msg
+  | Ok src -> Result.map snd (Driver.load ?n src)
 
 (* ------------------------------------------------------- arguments --- *)
 
@@ -338,11 +319,13 @@ let cgen_cmd =
 let sim_cmd =
   let run file kernel cls n cache trace profile =
     with_obs ~trace ~profile (fun () ->
-        let p = or_die (load ~kernel ~file ~n) in
-        let p', _ = Core.Compound.run_program ~cls p in
-        let speedup, before, after =
-          Interp.Measure.speedup ~config:cache p p'
+        let src = or_die (source_of ~kernel ~file) in
+        let r =
+          or_die (Driver.run (Driver.config ?n ~cls ~machines:[ cache ] src))
         in
+        let m = List.hd r.Driver.measured in
+        let before = m.Driver.original_run
+        and after = m.Driver.transformed_run in
         Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
         Printf.printf "original:    %8.4f modelled s, %6.2f%% hits\n"
           before.Interp.Measure.seconds
@@ -350,7 +333,7 @@ let sim_cmd =
         Printf.printf "transformed: %8.4f modelled s, %6.2f%% hits\n"
           after.Interp.Measure.seconds
           (Interp.Measure.hit_rate after.Interp.Measure.whole);
-        Printf.printf "speedup: %.2fx\n" speedup)
+        Printf.printf "speedup: %.2fx\n" m.Driver.speedup)
   in
   Cmd.v
     (Cmd.info "sim"
@@ -361,13 +344,8 @@ let sim_cmd =
 
 let explain_cmd =
   let run file kernel cls n json interference_limit =
-    let p = or_die (load ~kernel ~file ~n) in
-    let name =
-      match (kernel, file) with
-      | Some k, _ -> k
-      | None, Some f -> f
-      | None, None -> "program"
-    in
+    let src = or_die (source_of ~kernel ~file) in
+    let name, p = or_die (Driver.load ?n src) in
     let ex = Stats.Explain.run ~cls ?interference_limit ~name p in
     if json then print_string (Stats.Explain.to_json ex)
     else print_string (Stats.Explain.render ex)
@@ -501,20 +479,22 @@ let suite_cmd =
     let rows =
       with_obs ~trace ~profile (fun () ->
           Pool.map ~jobs
-            (fun (name, mk) ->
+            (fun (name, _) ->
               Obs.span ("kernel:" ^ name) (fun () ->
-                  let p = mk n in
-                  let p', _ = Core.Compound.run_program ~cls p in
-                  match
-                    Interp.Measure.speedup_configs
-                      ~configs:[ Machine.cache1; Machine.cache2 ]
-                      p p'
-                  with
-                  | [ (sp1, r1, r1'); (sp2, _, _) ] ->
-                    Printf.sprintf "%-16s %10.4f %10.4f %9.2fx %9.2fx" name
-                      r1.Interp.Measure.seconds r1'.Interp.Measure.seconds sp1
-                      sp2
-                  | _ -> assert false))
+                  let cfg =
+                    Driver.config ~n ~cls
+                      ~machines:[ Machine.cache1; Machine.cache2 ]
+                      (Driver.Source_kernel name)
+                  in
+                  match Driver.run cfg with
+                  | Error msg -> Error (name, msg)
+                  | Ok { Driver.measured = [ m1; m2 ]; _ } ->
+                    Ok
+                      (Printf.sprintf "%-16s %10.4f %10.4f %9.2fx %9.2fx" name
+                         m1.Driver.original_run.Interp.Measure.seconds
+                         m1.Driver.transformed_run.Interp.Measure.seconds
+                         m1.Driver.speedup m2.Driver.speedup)
+                  | Ok _ -> Error (name, "unexpected measurement shape")))
             Suite.Kernels.all)
     in
     Printf.printf "; n=%d cls=%d jobs=%d (each kernel interpreted once per \
@@ -522,7 +502,18 @@ let suite_cmd =
       n cls jobs;
     Printf.printf "%-16s %10s %10s %10s %10s\n" "kernel" "orig(s)" "opt(s)"
       "speedup1" "speedup2";
-    List.iter print_endline rows
+    List.iter (function Ok line -> print_endline line | Error _ -> ()) rows;
+    let failures =
+      List.filter_map
+        (function Ok _ -> None | Error (name, msg) -> Some (name, msg))
+        rows
+    in
+    if failures <> [] then begin
+      List.iter
+        (fun (name, msg) -> Printf.eprintf "memoria: %s failed: %s\n" name msg)
+        failures;
+      exit 1
+    end
   in
   let jobs_arg =
     Arg.(
@@ -540,6 +531,80 @@ let suite_cmd =
          "Optimize and simulate every built-in kernel in parallel, printing \
           modelled speedups on both cache geometries.")
     Term.(const run $ cls_arg $ n_arg $ jobs_arg $ trace_arg $ profile_arg)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Store directory (default: $(b,MEMORIA_STORE)).")
+  in
+  let get_store dir =
+    match dir with
+    | Some d -> Store.open_root d
+    | None -> (
+      match Store.default () with
+      | Some s -> s
+      | None ->
+        prerr_endline "memoria: no store (give --dir or set MEMORIA_STORE)";
+        exit 1)
+  in
+  let stats_cmd =
+    let run dir =
+      let s = get_store dir in
+      let d = Store.disk_stats s in
+      Printf.printf "root: %s\n" (Store.root s);
+      Printf.printf "entries: %d\n" d.Store.entries;
+      Printf.printf "bytes: %d\n" d.Store.bytes;
+      Printf.printf "quarantined: %d\n" d.Store.quarantined
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print entry count, total size and quarantine size.")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let s = get_store dir in
+      let ok, bad = Store.verify s in
+      Printf.printf "ok: %d\nquarantined: %d\n" ok bad;
+      if bad > 0 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Checksum every entry, quarantining damaged ones; exits non-zero \
+            if any entry failed.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_bytes_arg =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES"
+            ~doc:"Target store size; least-recently-used entries go first.")
+    in
+    let run dir max_bytes =
+      let s = get_store dir in
+      let deleted, remaining = Store.gc s ~max_bytes in
+      Printf.printf "deleted: %d\nbytes: %d\n" deleted remaining
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Empty the quarantine and evict least-recently-used entries until \
+            the store fits in $(b,--max-bytes).")
+      Term.(const run $ dir_arg $ max_bytes_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain the content-addressed experiment store \
+          ($(b,MEMORIA_STORE)): cached trace captures and simulation \
+          results keyed by program text, transform configuration and cache \
+          geometry.")
+    [ stats_cmd; verify_cmd; gc_cmd ]
 
 let main =
   Cmd.group
@@ -559,10 +624,16 @@ let main =
                 flat v1 record stream; any other value (or unset) uses the \
                 run-compressed v2 format, which is several times faster and \
                 produces bit-identical statistics.";
+           Cmd.Env.info "MEMORIA_STORE"
+             ~doc:
+               "Directory of the content-addressed experiment store. When \
+                set, trace captures and simulation results are reused \
+                across runs (byte-identical output); unset disables \
+                caching. See $(b,memoria store).";
          ])
     [
       opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
-      cgen_cmd; kernels_cmd; suite_cmd;
+      cgen_cmd; kernels_cmd; suite_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,205 @@
+(* The unified pipeline behind the CLI, the benchmark harness and the
+   table generators — see driver.mli for the contract. *)
+
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+module Measure = Locality_interp.Measure
+module Store = Locality_store.Store
+module Compound = Locality_core.Compound
+module Suite = Locality_suite
+module Obs = Locality_obs.Obs
+
+type source =
+  | Source_program of { name : string; program : Program.t }
+  | Source_file of string
+  | Source_kernel of string
+  | Source_suite of string
+  | Source_entry of Suite.Programs.entry
+
+type transform =
+  | Keep
+  | Compound of {
+      try_reversal : bool option;
+      interference_limit : int option;
+    }
+  | Provided of { transformed : Program.t; optimized_labels : string list }
+
+type config = {
+  source : source;
+  n : int option;
+  cls : int;
+  transform : transform;
+  machines : Cache.config list;
+  timing : Machine.timing;
+  params : (string * int) list option;
+  replay : Measure.replay_mode option;
+  use_labels : bool;
+  store : Store.t option;
+}
+
+let config ?n ?(cls = 4)
+    ?(transform = Compound { try_reversal = None; interference_limit = None })
+    ?(machines = []) ?(timing = Machine.default_timing) ?params ?replay
+    ?(use_labels = false) ?(store = Store.default ()) source =
+  { source; n; cls; transform; machines; timing; params; replay; use_labels;
+    store }
+
+type measured = {
+  machine : Cache.config;
+  original_run : Measure.run;
+  transformed_run : Measure.run;
+  speedup : float;
+}
+
+type result = {
+  name : string;
+  original : Program.t;
+  transformed : Program.t;
+  compound : Compound.stats option;
+  optimized_labels : string list;
+  measured : measured list;
+}
+
+(* ----------------------------------------------------------- load --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let override_params n (p : Program.t) =
+  { p with Program.params = List.map (fun (x, _) -> (x, n)) p.Program.params }
+
+let resize n p = match n with None -> p | Some n -> override_params n p
+
+let load ?n source =
+  match source with
+  | Source_program { name; program } -> Ok (name, resize n program)
+  | Source_kernel name -> (
+    match List.assoc_opt name Suite.Kernels.all with
+    | Some mk -> Ok (name, mk (Option.value n ~default:64))
+    | None ->
+      Error
+        (Printf.sprintf "unknown kernel %s (try: %s)" name
+           (String.concat ", " (List.map fst Suite.Kernels.all))))
+  | Source_suite name -> (
+    match Suite.Programs.find name with
+    | Some e -> Ok (name, Suite.Programs.program_of ?n e)
+    | None ->
+      Error
+        (Printf.sprintf "unknown suite program %s (see Programs.all)" name))
+  | Source_entry e -> Ok (e.Suite.Programs.name, Suite.Programs.program_of ?n e)
+  | Source_file path -> (
+    try
+      let p =
+        Obs.span "parse" ~args:[ ("file", path) ] (fun () ->
+            Locality_lang.Lower.parse_program (read_file path))
+      in
+      Ok (path, resize n p)
+    with
+    | Sys_error msg -> Error msg
+    | Locality_lang.Lexer.Error (msg, line) ->
+      Error (Printf.sprintf "%s:%d: lexical error: %s" path line msg)
+    | Locality_lang.Parser.Error (msg, line) ->
+      Error (Printf.sprintf "%s:%d: syntax error: %s" path line msg)
+    | Locality_lang.Lower.Error msg ->
+      Error (Printf.sprintf "%s: %s" path msg))
+
+(* ------------------------------------------------------------ run --- *)
+
+let changed (s : Compound.nest_stat) =
+  s.Compound.permuted || s.Compound.fused_enabling || s.Compound.distributed
+
+(* The optimizer is deterministic in its program and knobs, so its
+   output is cacheable like a trace: keyed on the canonical program
+   text plus every knob, holding the transformed program and the
+   statistics. (The store's format version retires entries if the
+   marshalled shape of either ever changes.) *)
+let analysis_key ~cls ~try_reversal ~interference_limit program =
+  let bool_tag = function None -> "-" | Some b -> string_of_bool b in
+  let int_tag = function None -> "-" | Some i -> string_of_int i in
+  Store.key ~kind:"analysis"
+    [
+      string_of_int cls;
+      bool_tag try_reversal;
+      int_tag interference_limit;
+      Pretty.program_to_string program;
+    ]
+
+let compound_cached ~store ~cls ~try_reversal ~interference_limit program =
+  let compute () =
+    Compound.run_program ?try_reversal ?interference_limit ~cls program
+  in
+  match store with
+  | None -> compute ()
+  | Some st -> (
+    let k = analysis_key ~cls ~try_reversal ~interference_limit program in
+    match (Store.get_value st k : (Program.t * Compound.stats) option) with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      Store.put_value st k v;
+      v)
+
+let run_loaded cfg name program =
+  let transformed, compound, optimized_labels =
+    match cfg.transform with
+    | Keep -> (program, None, [])
+    | Provided { transformed; optimized_labels } ->
+      (transformed, None, optimized_labels)
+    | Compound { try_reversal; interference_limit } ->
+      let p', stats =
+        compound_cached ~store:cfg.store ~cls:cfg.cls ~try_reversal
+          ~interference_limit program
+      in
+      let labels =
+        List.concat_map
+          (fun s -> if changed s then s.Compound.labels else [])
+          stats.Compound.nests
+      in
+      (p', Some stats, labels)
+  in
+  let measured =
+    if cfg.machines = [] then []
+    else begin
+      (* One prepared capture per program version, shared by every
+         geometry — and deferred: with a warm store no interpretation
+         happens at all. *)
+      let prep p =
+        Measure.prepare ?mode:cfg.replay ?params:cfg.params ~store:cfg.store p
+      in
+      let orig = prep program in
+      let final =
+        match cfg.transform with Keep -> orig | _ -> prep transformed
+      in
+      let labels = if cfg.use_labels then optimized_labels else [] in
+      List.map
+        (fun machine ->
+          let replay p =
+            Measure.replay_prepared ~config:machine ~timing:cfg.timing
+              ~optimized_labels:labels p
+          in
+          let o = replay orig in
+          let f = if final == orig then o else replay final in
+          {
+            machine;
+            original_run = o;
+            transformed_run = f;
+            speedup = o.Measure.cycles /. f.Measure.cycles;
+          })
+        cfg.machines
+    end
+  in
+  { name; original = program; transformed; compound; optimized_labels;
+    measured }
+
+let run cfg =
+  match load ?n:cfg.n cfg.source with
+  | Error msg -> Error msg
+  | Ok (name, program) -> (
+    try Ok (run_loaded cfg name program)
+    with e -> Error (Printf.sprintf "%s: %s" name (Printexc.to_string e)))
+
+let run_exn cfg = match run cfg with Ok r -> r | Error msg -> failwith msg
+let run_many ?jobs cfgs = Locality_par.Pool.map ?jobs run cfgs

@@ -1,0 +1,117 @@
+(** The unified pipeline: load → (dependence-driven) compound transform
+    → capture → replay, as one typed configuration.
+
+    Every consumer of the pipeline — the [memoria] CLI subcommands, the
+    benchmark harness and the table/figure generators in [Stats] — used
+    to hand-roll this sequence; they are now thin wrappers over
+    {!run}. A config names the program source, the transformation to
+    apply, the cache geometries to measure on, the timing model, the
+    trace/replay mode and the experiment store; the result carries both
+    program versions, the optimizer's statistics, and one measurement
+    per geometry.
+
+    Measurement goes through {!Locality_interp.Measure.prepare}, so with
+    a store attached a warm run skips capture and replay entirely, and
+    each program version is interpreted at most once per run however
+    many geometries are measured. *)
+
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+module Measure = Locality_interp.Measure
+module Store = Locality_store.Store
+
+type source =
+  | Source_program of { name : string; program : Program.t }
+      (** An already-built program. *)
+  | Source_file of string  (** A mini-language source file. *)
+  | Source_kernel of string  (** A {!Locality_suite.Kernels} name. *)
+  | Source_suite of string  (** A {!Locality_suite.Programs} name. *)
+  | Source_entry of Locality_suite.Programs.entry
+      (** A suite entry already in hand (Table 2's iteration). *)
+
+type transform =
+  | Keep  (** Measure the program as-is (transformed = original). *)
+  | Compound of {
+      try_reversal : bool option;
+      interference_limit : int option;
+    }  (** The paper's compound algorithm, via {!Locality_core.Compound}. *)
+  | Provided of { transformed : Program.t; optimized_labels : string list }
+      (** A transformed version computed elsewhere (ablations, Table 4
+          re-measuring Table 2's output). *)
+
+type config = {
+  source : source;
+  n : int option;
+      (** Size override at load: kernels take it as their constructor
+          argument (default 64), files and programs have every PARAMETER
+          rewritten to it, suite entries pass it to
+          {!Locality_suite.Programs.program_of}. *)
+  cls : int;  (** Cache line size in elements for the cost model. *)
+  transform : transform;
+  machines : Cache.config list;
+      (** Geometries to measure on; empty = analysis only (no capture,
+          no replay). *)
+  timing : Machine.timing;
+  params : (string * int) list option;
+      (** Capture-time parameter overrides, as {!Measure.capture}. *)
+  replay : Measure.replay_mode option;  (** [None] = [MEMORIA_REPLAY]. *)
+  use_labels : bool;
+      (** Thread the optimized-region statement labels into replay so
+          runs carry per-region statistics (Table 4). *)
+  store : Store.t option;  (** Experiment store; default the ambient one. *)
+}
+
+val config :
+  ?n:int ->
+  ?cls:int ->
+  ?transform:transform ->
+  ?machines:Cache.config list ->
+  ?timing:Machine.timing ->
+  ?params:(string * int) list ->
+  ?replay:Measure.replay_mode ->
+  ?use_labels:bool ->
+  ?store:Store.t option ->
+  source ->
+  config
+(** Defaults: no size override, [cls = 4], {!Compound} with neither
+    knob set, no machines, {!Machine.default_timing}, no parameter
+    overrides, ambient replay mode, [use_labels = false], ambient
+    store. *)
+
+type measured = {
+  machine : Cache.config;
+  original_run : Measure.run;
+  transformed_run : Measure.run;
+      (** Physically equal to [original_run] under {!Keep}. *)
+  speedup : float;  (** original cycles / transformed cycles. *)
+}
+
+type result = {
+  name : string;
+  original : Program.t;
+  transformed : Program.t;
+  compound : Locality_core.Compound.stats option;
+      (** Present iff the transform was {!Compound}. *)
+  optimized_labels : string list;
+      (** Statement labels of nests the optimizer changed ({!Compound}),
+          or the provided labels ({!Provided}); [[]] under {!Keep}. *)
+  measured : measured list;  (** One per machine, in [machines] order. *)
+}
+
+val load : ?n:int -> source -> (string * Program.t, string) Stdlib.result
+(** Resolve a source to a named program. Errors (unknown kernel or
+    suite name, unreadable or unparsable file) come back as the
+    human-readable messages the CLI used to format itself. *)
+
+val run : config -> (result, string) Stdlib.result
+(** The whole pipeline. Any exception escaping a stage is returned as
+    [Error "<name>: <message>"] so batch callers ([memoria suite]) can
+    keep going and report a trustworthy exit code. *)
+
+val run_exn : config -> result
+(** {!run}, raising [Failure] on error — for generators whose inputs
+    are known-good (the table builders). *)
+
+val run_many : ?jobs:int -> config list -> (result, string) Stdlib.result list
+(** {!run} over the domain pool ({!Locality_par.Pool.map}): results in
+    input order, independent of pool size. *)

@@ -1,6 +1,7 @@
 module Cache = Locality_cachesim.Cache
 module Machine = Locality_cachesim.Machine
 module Obs = Locality_obs.Obs
+module Store = Locality_store.Store
 
 type region = {
   accesses : int;
@@ -47,7 +48,49 @@ type traced = V1 of Trace.captured | V2 of Trace.captured_runs
 type capture = {
   trace : traced;
   cap_ops : int;
+  cap_key : string option;
+      (* hex capture digest when a store is in play; lets replay derive
+         result keys without re-digesting the program *)
 }
+
+(* ------------------------------------------------ store keying ------ *)
+
+(* Everything that determines a capture goes into its digest: the trace
+   format (v1 and v2 streams are distinct cache entries), the canonical
+   program text (name, PARAMETERs, declarations and body — the pretty
+   printer is the normal form), and any parameter overrides. Replay
+   results additionally hash the cache geometry, the timing model and
+   the optimized-region label set. The store mixes its own format
+   version into every key, so marshalled-layout changes retire old
+   entries wholesale. *)
+
+let mode_tag = function Per_access -> "v1" | Runs -> "v2"
+
+let params_tag params =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) params)
+
+let capture_key ?mode ?(params = []) (p : Program.t) =
+  let mode = match mode with Some m -> m | None -> replay_mode () in
+  Store.key ~kind:"capture"
+    [ mode_tag mode; Pretty.program_to_string p; params_tag params ]
+
+let config_tag (c : Cache.config) =
+  Printf.sprintf "%s/%d/%d/%d" c.Cache.name c.Cache.size_bytes c.Cache.assoc
+    c.Cache.line_bytes
+
+let timing_tag (t : Machine.timing) =
+  Printf.sprintf "%h/%h/%h" t.Machine.cycles_per_op t.Machine.cycles_per_hit
+    t.Machine.miss_penalty
+
+let labels_tag labels =
+  String.concat "\x00" (List.sort_uniq String.compare labels)
+
+let run_key ~cap ~config ~timing ~labels =
+  Store.key ~kind:"run"
+    [ cap; config_tag config; timing_tag timing; labels_tag labels ]
+
+let hier_key ~cap ~l1 ~l2 =
+  Store.key ~kind:"hier" [ cap; config_tag l1; config_tag l2 ]
 
 let trace_labels cap =
   match cap.trace with
@@ -59,8 +102,7 @@ let trace_stats cap =
   | V1 t -> (t.Trace.records, t.Trace.records, 0)
   | V2 t -> (t.Trace.run_records, t.Trace.run_stream_words, t.Trace.run_groups)
 
-let capture ?mode ?params (p : Program.t) =
-  let mode = match mode with Some m -> m | None -> replay_mode () in
+let interpret_capture ~mode ?params ~cap_key (p : Program.t) =
   Obs.span "capture" (fun () ->
       match mode with
       | Per_access ->
@@ -72,7 +114,7 @@ let capture ?mode ?params (p : Program.t) =
           Obs.add_span_arg "records" (string_of_int t.Trace.records);
           Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops)
         end;
-        { trace = V1 t; cap_ops = res.Fastexec.ops }
+        { trace = V1 t; cap_ops = res.Fastexec.ops; cap_key }
       | Runs ->
         let rb, finish = Trace.run_capturing () in
         let res = Fastexec.run_traced_runs ?params rb p in
@@ -88,10 +130,25 @@ let capture ?mode ?params (p : Program.t) =
           Obs.counter "trace.records_compressed"
             (t.Trace.run_records - t.Trace.run_stream_words)
         end;
-        { trace = V2 t; cap_ops = res.Fastexec.ops })
+        { trace = V2 t; cap_ops = res.Fastexec.ops; cap_key })
 
-let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
-    ?(optimized_labels = []) cap =
+let capture ?mode ?params ?(store = Store.default ()) (p : Program.t) =
+  let mode = match mode with Some m -> m | None -> replay_mode () in
+  match store with
+  | None -> interpret_capture ~mode ?params ~cap_key:None p
+  | Some st -> (
+    let k = capture_key ~mode ?params p in
+    let cap_key = Some (Store.hex k) in
+    match (Store.get_value st k : (traced * int) option) with
+    | Some (trace, ops) ->
+      Obs.span "capture" ~args:[ ("store", "hit") ] (fun () ->
+          { trace; cap_ops = ops; cap_key })
+    | None ->
+      let c = interpret_capture ~mode ?params ~cap_key p in
+      Store.put_value st k (c.trace, c.cap_ops);
+      c)
+
+let replay_compute ~config ~timing ~optimized_labels cap =
   Obs.span "replay" ~args:[ ("cache", config.Cache.name) ] (fun () ->
   let cache = Cache.create config in
   let marked =
@@ -155,8 +212,69 @@ let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
     seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
   })
 
-let measure ?config ?timing ?optimized_labels ?params (p : Program.t) =
-  replay ?config ?timing ?optimized_labels (capture ?params p)
+let cached_run ~store ~cap_key ~config ~timing ~labels compute =
+  match (store, cap_key) with
+  | Some st, Some cap -> (
+    let k = run_key ~cap ~config ~timing ~labels in
+    match (Store.get_value st k : run option) with
+    | Some r -> r
+    | None ->
+      let r = compute () in
+      Store.put_value st k r;
+      r)
+  | _ -> compute ()
+
+let replay ?(config = Machine.cache1) ?(timing = Machine.default_timing)
+    ?(optimized_labels = []) ?(store = Store.default ()) cap =
+  cached_run ~store ~cap_key:cap.cap_key ~config ~timing
+    ~labels:optimized_labels (fun () ->
+      replay_compute ~config ~timing ~optimized_labels cap)
+
+(* ------------------------------------------------ prepared runs ----- *)
+
+(* A prepared program defers its capture: replaying a prepared program
+   first consults the result store, and only when a result is missing
+   is the trace materialised (itself store-backed). On a fully warm
+   store a whole table regenerates without interpreting or simulating
+   anything. A [prepared] value memoises its capture and is meant to be
+   used from one domain (each pool work item prepares its own). *)
+
+type prepared = {
+  p_program : Program.t;
+  p_params : (string * int) list option;
+  p_mode : replay_mode;
+  p_store : Store.t option;
+  p_key : string option;
+  mutable p_cap : capture option;
+}
+
+let prepare ?mode ?params ?(store = Store.default ()) (p : Program.t) =
+  let mode = match mode with Some m -> m | None -> replay_mode () in
+  let p_key =
+    Option.map (fun _ -> Store.hex (capture_key ~mode ?params p)) store
+  in
+  { p_program = p; p_params = params; p_mode = mode; p_store = store; p_key;
+    p_cap = None }
+
+let prepared_capture pr =
+  match pr.p_cap with
+  | Some c -> c
+  | None ->
+    let c =
+      capture ~mode:pr.p_mode ?params:pr.p_params ~store:pr.p_store
+        pr.p_program
+    in
+    pr.p_cap <- Some c;
+    c
+
+let replay_prepared ?(config = Machine.cache1)
+    ?(timing = Machine.default_timing) ?(optimized_labels = []) pr =
+  cached_run ~store:pr.p_store ~cap_key:pr.p_key ~config ~timing
+    ~labels:optimized_labels (fun () ->
+      replay_compute ~config ~timing ~optimized_labels (prepared_capture pr))
+
+let measure ?config ?timing ?optimized_labels ?params ?store (p : Program.t) =
+  replay_prepared ?config ?timing ?optimized_labels (prepare ?params ?store p)
 
 type hier_run = {
   l1_rate : float;
@@ -165,7 +283,7 @@ type hier_run = {
   hier_writebacks : int;
 }
 
-let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) cap =
+let replay_hierarchy_compute ~l1 ~l2 cap =
   Obs.span "replay_hierarchy"
     ~args:[ ("l1", l1.Cache.name); ("l2", l2.Cache.name) ]
     (fun () ->
@@ -195,22 +313,44 @@ let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1) cap =
         hier_writebacks = H.writebacks h;
       })
 
-let measure_hierarchy ?l1 ?l2 ?params (p : Program.t) =
-  replay_hierarchy ?l1 ?l2 (capture ?params p)
+let cached_hier ~store ~cap_key ~l1 ~l2 compute =
+  match (store, cap_key) with
+  | Some st, Some cap -> (
+    let k = hier_key ~cap ~l1 ~l2 in
+    match (Store.get_value st k : hier_run option) with
+    | Some r -> r
+    | None ->
+      let r = compute () in
+      Store.put_value st k r;
+      r)
+  | _ -> compute ()
 
-let speedup ?config ?timing ?params original transformed =
-  let c1 = capture ?params original in
-  let c2 = capture ?params transformed in
-  let r1 = replay ?config ?timing c1 in
-  let r2 = replay ?config ?timing c2 in
+let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1)
+    ?(store = Store.default ()) cap =
+  cached_hier ~store ~cap_key:cap.cap_key ~l1 ~l2 (fun () ->
+      replay_hierarchy_compute ~l1 ~l2 cap)
+
+let replay_hierarchy_prepared ?(l1 = Machine.cache2) ?(l2 = Machine.cache1)
+    pr =
+  cached_hier ~store:pr.p_store ~cap_key:pr.p_key ~l1 ~l2 (fun () ->
+      replay_hierarchy_compute ~l1 ~l2 (prepared_capture pr))
+
+let measure_hierarchy ?l1 ?l2 ?params ?store (p : Program.t) =
+  replay_hierarchy_prepared ?l1 ?l2 (prepare ?params ?store p)
+
+let speedup ?config ?timing ?params ?store original transformed =
+  let p1 = prepare ?params ?store original in
+  let p2 = prepare ?params ?store transformed in
+  let r1 = replay_prepared ?config ?timing p1 in
+  let r2 = replay_prepared ?config ?timing p2 in
   (r1.cycles /. r2.cycles, r1, r2)
 
-let speedup_configs ?timing ?params ~configs original transformed =
-  let c1 = capture ?params original in
-  let c2 = capture ?params transformed in
+let speedup_configs ?timing ?params ?store ~configs original transformed =
+  let p1 = prepare ?params ?store original in
+  let p2 = prepare ?params ?store transformed in
   List.map
     (fun config ->
-      let r1 = replay ~config ?timing c1 in
-      let r2 = replay ~config ?timing c2 in
+      let r1 = replay_prepared ~config ?timing p1 in
+      let r2 = replay_prepared ~config ?timing p2 in
       (r1.cycles /. r2.cycles, r1, r2))
     configs

@@ -1,10 +1,23 @@
 (** Measurement harness: execute a program with its address trace feeding
     a simulated cache, with statistics split between the statements the
     optimizer touched and the whole program — the methodology behind
-    Tables 1, 3 and 4. *)
+    Tables 1, 3 and 4.
+
+    Every entry point takes an optional content-addressed
+    {!Locality_store.Store.t}: captures and replay results are then
+    looked up by a digest of the canonical program text, parameter
+    overrides, trace format, cache geometry and timing model, and only
+    computed (and stored) on a miss. The default is the ambient
+    [MEMORIA_STORE] store ({!Locality_store.Store.default}) — [None]
+    when the variable is unset, which makes every function behave
+    exactly as before the store existed. Cached values are bit-identical
+    to recomputation (the pipeline is deterministic and results
+    round-trip through [Marshal] exactly); a corrupt store entry is
+    quarantined and transparently recomputed. *)
 
 module Cache = Locality_cachesim.Cache
 module Machine = Locality_cachesim.Machine
+module Store = Locality_store.Store
 
 type region = {
   accesses : int;
@@ -43,9 +56,22 @@ type capture
     {!replay_hierarchy}). Replay statistics are bit-identical to the
     legacy interpret-per-config observer path, in either trace format. *)
 
+val capture_key :
+  ?mode:replay_mode -> ?params:(string * int) list -> Program.t -> Store.key
+(** The content digest a capture is stored under: trace format,
+    canonical program text ({!Pretty.program_to_string} — name,
+    PARAMETERs, declarations, body) and parameter overrides. Stable
+    across processes and runs. *)
+
 val capture :
-  ?mode:replay_mode -> ?params:(string * int) list -> Program.t -> capture
-(** [mode] defaults to {!replay_mode}[ ()]. *)
+  ?mode:replay_mode ->
+  ?params:(string * int) list ->
+  ?store:Store.t option ->
+  Program.t ->
+  capture
+(** [mode] defaults to {!replay_mode}[ ()]; [store] to
+    {!Store.default}[ ()]. With a store, a hit deserialises the trace
+    instead of interpreting; a miss interprets and publishes it. *)
 
 val trace_stats : capture -> int * int * int
 (** [(records, stream_words, groups)]: logical access count, words
@@ -56,7 +82,34 @@ val replay :
   ?config:Cache.config ->
   ?timing:Machine.timing ->
   ?optimized_labels:string list ->
+  ?store:Store.t option ->
   capture ->
+  run
+
+type prepared
+(** A program staged for store-backed measurement with its capture
+    deferred: {!replay_prepared} consults the result store first and
+    only materialises the trace (itself store-backed) when a result is
+    missing — so a fully warm store regenerates a table without
+    interpreting or simulating anything. The memoised capture makes a
+    [prepared] value single-domain; each pool work item should
+    {!prepare} its own. *)
+
+val prepare :
+  ?mode:replay_mode ->
+  ?params:(string * int) list ->
+  ?store:Store.t option ->
+  Program.t ->
+  prepared
+
+val prepared_capture : prepared -> capture
+(** Force (and memoise) the capture. *)
+
+val replay_prepared :
+  ?config:Cache.config ->
+  ?timing:Machine.timing ->
+  ?optimized_labels:string list ->
+  prepared ->
   run
 
 val measure :
@@ -64,6 +117,7 @@ val measure :
   ?timing:Machine.timing ->
   ?optimized_labels:string list ->
   ?params:(string * int) list ->
+  ?store:Store.t option ->
   Program.t ->
   run
 
@@ -75,12 +129,20 @@ type hier_run = {
 }
 
 val replay_hierarchy :
-  ?l1:Cache.config -> ?l2:Cache.config -> capture -> hier_run
+  ?l1:Cache.config ->
+  ?l2:Cache.config ->
+  ?store:Store.t option ->
+  capture ->
+  hier_run
+
+val replay_hierarchy_prepared :
+  ?l1:Cache.config -> ?l2:Cache.config -> prepared -> hier_run
 
 val measure_hierarchy :
   ?l1:Cache.config ->
   ?l2:Cache.config ->
   ?params:(string * int) list ->
+  ?store:Store.t option ->
   Program.t ->
   hier_run
 (** Run the program against a two-level write-back hierarchy (defaults:
@@ -90,6 +152,7 @@ val speedup :
   ?config:Cache.config ->
   ?timing:Machine.timing ->
   ?params:(string * int) list ->
+  ?store:Store.t option ->
   Program.t ->
   Program.t ->
   float * run * run
@@ -100,6 +163,7 @@ val speedup :
 val speedup_configs :
   ?timing:Machine.timing ->
   ?params:(string * int) list ->
+  ?store:Store.t option ->
   configs:Cache.config list ->
   Program.t ->
   Program.t ->

@@ -1,28 +1,12 @@
 (* Chrome trace-event JSON (the "JSON Array Format" with a traceEvents
    wrapper object), loadable in chrome://tracing, Perfetto and speedscope.
    Spans become complete ("X") events, instants "i", counters "C".
-   Timestamps are microseconds relative to the earliest event. *)
+   Timestamps are microseconds relative to the earliest event. All JSON
+   is rendered through the shared {!Json} emitter. *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let str s = "\"" ^ escape s ^ "\""
-
-let obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+let escape = Json.escape
+let str = Json.str
+let obj = Json.obj
 
 let us_of_ns ~origin ns =
   Printf.sprintf "%.3f" (Int64.to_float (Int64.sub ns origin) /. 1e3)
@@ -137,8 +121,9 @@ let to_string ?(process_name = "memoria") (events : Event.t list) =
            | None, None -> [])
          events
   in
-  "{\"traceEvents\":[\n" ^ String.concat ",\n" rows
-  ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+  Printf.sprintf "{\"schema_version\":%d,\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n"
+    Json.schema_version
+    (String.concat ",\n" rows)
 
 let write ~path ?process_name events =
   let oc = open_out path in

@@ -16,7 +16,15 @@
     When {!Locality_obs.Obs} tracing is enabled, each item's events are
     captured on the worker domain and merged back into the caller's
     buffer in input order at the barrier, so the recorded stream has the
-    same {!Locality_obs.Event.fingerprint} sequence at any pool size. *)
+    same {!Locality_obs.Event.fingerprint} sequence at any pool size.
+
+    Workers may freely read and write a {!Locality_store.Store.t}: the
+    handle is immutable, its counters are atomics, writes publish via
+    rename, and concurrent writers of the same key settle on one valid
+    entry — so the store is safe across pool domains and across
+    concurrent processes sharing [MEMORIA_STORE]. The ambient
+    {!Locality_store.Store.default} handle is resolved before any domain
+    spawns and is therefore safe to consult from workers. *)
 
 val jobs_env : string
 (** Name of the controlling environment variable, ["MEMORIA_JOBS"]. *)

@@ -1,5 +1,6 @@
 module C = Locality_core
 module S = Locality_suite
+module D = Locality_driver.Driver
 module Measure = Locality_interp.Measure
 module Machine = Locality_cachesim.Machine
 
@@ -20,8 +21,14 @@ let permute_fuse ?(cls = 4) (p : Program.t) =
     p
 
 let speed config p p' =
-  let sp, _, _ = Measure.speedup ~config p p' in
-  sp
+  let r =
+    D.run_exn
+      (D.config
+         ~transform:(D.Provided { transformed = p'; optimized_labels = [] })
+         ~machines:[ config ]
+         (D.Source_program { name = "ablation"; program = p }))
+  in
+  (List.hd r.D.measured).D.speedup
 
 let transforms ?(n = 48) () =
   let kernels =
@@ -217,8 +224,16 @@ let step3 ?(n = 64) () =
 
 let interference ?(n = 128) () =
   let p = S.Kernels.shallow_water n in
-  let fused, _ = C.Compound.run_program ~cls:4 p in
-  let guarded, _ = C.Compound.run_program ~cls:4 ~interference_limit:4 p in
+  let compound lim =
+    D.run_exn
+      (D.config ~cls:4
+         ~transform:(D.Compound { try_reversal = None; interference_limit = lim })
+         ~machines:[ Machine.cache1 ]
+         (D.Source_program { name = "swm-fragment"; program = p }))
+  in
+  let unguarded = compound None and guarded = compound (Some 4) in
+  let fused = unguarded.D.transformed
+  and guarded = guarded.D.transformed in
   let row label q =
     let r = Measure.measure ~config:Machine.cache1 q in
     [

@@ -1,6 +1,5 @@
 module Obs = Locality_obs.Obs
 module Event = Locality_obs.Event
-module Chrome = Locality_obs.Chrome
 module Compound = Locality_core.Compound
 
 type entry = {
@@ -122,56 +121,46 @@ let render t =
 
 (* ---------------------------------------------------------- JSON --- *)
 
-let json_list items = "[" ^ String.concat "," items ^ "]"
-let json_obj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> Chrome.str k ^ ":" ^ v) fields)
-  ^ "}"
-
-let json_strings l = json_list (List.map Chrome.str l)
+(* The document shape is written down in doc/SCHEMA.md; bump
+   [Json.schema_version] only on incompatible changes. *)
 
 let note_json (e : Event.t) =
   match e.Event.payload with
   | Event.Instant { name; args } ->
     Some
-      (json_obj
+      (Json.obj
          [
-           ("name", Chrome.str name);
-           ( "args",
-             json_obj (List.map (fun (k, v) -> (k, Chrome.str v)) args) );
+           ("name", Json.str name);
+           ("args", Json.obj (List.map (fun (k, v) -> (k, Json.str v)) args));
          ])
   | _ -> None
 
 let entry_json { decision = d; notes } =
-  json_obj
+  Json.obj
     [
-      ("nest", Chrome.str d.Event.nest);
-      ("labels", json_strings d.Event.labels);
-      ("depth", string_of_int d.Event.depth);
-      ("action", Chrome.str (Event.action_to_string d.Event.action));
-      ("reason", Chrome.str d.Event.reason);
-      ("original_order", json_strings d.Event.original_order);
-      ( "achieved_orders",
-        json_list (List.map json_strings d.Event.achieved_orders) );
-      ("memory_order", json_strings d.Event.memory_order);
-      ( "loop_costs",
-        json_obj (List.map (fun (x, c) -> (x, Chrome.str c)) d.Event.costs) );
-      ("notes", json_list (List.filter_map note_json notes));
+      ("nest", Json.str d.Event.nest);
+      ("labels", Json.strings d.Event.labels);
+      ("depth", Json.int d.Event.depth);
+      ("action", Json.str (Event.action_to_string d.Event.action));
+      ("reason", Json.str d.Event.reason);
+      ("original_order", Json.strings d.Event.original_order);
+      ("achieved_orders", Json.list (List.map Json.strings d.Event.achieved_orders));
+      ("memory_order", Json.strings d.Event.memory_order);
+      ("loop_costs", Json.obj (List.map (fun (x, c) -> (x, Json.str c)) d.Event.costs));
+      ("notes", Json.list (List.filter_map note_json notes));
     ]
 
 let to_json t =
   let s = t.stats in
-  json_obj
+  Json.versioned
     [
-      ("program", Chrome.str t.name);
-      ("nests", string_of_int (List.length s.Compound.nests));
-      ("fusion_candidates", string_of_int s.Compound.fusion_candidates);
-      ("fusions_applied", string_of_int s.Compound.fusions_applied);
-      ("distributions", string_of_int s.Compound.distributions);
-      ( "distribution_results",
-        string_of_int s.Compound.distribution_results );
-      ("decisions", json_list (List.map entry_json t.entries));
-      ( "block_notes",
-        json_list (List.filter_map note_json t.block_notes) );
+      ("program", Json.str t.name);
+      ("nests", Json.int (List.length s.Compound.nests));
+      ("fusion_candidates", Json.int s.Compound.fusion_candidates);
+      ("fusions_applied", Json.int s.Compound.fusions_applied);
+      ("distributions", Json.int s.Compound.distributions);
+      ("distribution_results", Json.int s.Compound.distribution_results);
+      ("decisions", Json.list (List.map entry_json t.entries));
+      ("block_notes", Json.list (List.filter_map note_json t.block_notes));
     ]
   ^ "\n"

@@ -1,7 +1,18 @@
 module C = Locality_core
 module S = Locality_suite
+module D = Locality_driver.Driver
 module Measure = Locality_interp.Measure
 module Machine = Locality_cachesim.Machine
+
+(* Measure a fixed program as-is on some geometries, via the pipeline
+   driver (store-backed when MEMORIA_STORE is set). *)
+let keep_runs name program machines =
+  let r =
+    D.run_exn
+      (D.config ~transform:D.Keep ~machines
+         (D.Source_program { name; program }))
+  in
+  List.map (fun m -> m.D.original_run) r.D.measured
 
 let cost_table ~title nest candidates =
   let table = C.Loopcost.group_cost_table ~nest ~cls:4 ~candidates in
@@ -48,9 +59,15 @@ let fig2 ?(n_sim = 64) () =
   let rows =
     Locality_par.Pool.map
       (fun order ->
-        let cap = Measure.capture (S.Kernels.matmul ~order n_sim) in
-        let r1 = Measure.replay ~config:Machine.cache1 cap in
-        let r2 = Measure.replay ~config:Machine.cache2 cap in
+        let r1, r2 =
+          match
+            keep_runs ("matmul-" ^ order)
+              (S.Kernels.matmul ~order n_sim)
+              [ Machine.cache1; Machine.cache2 ]
+          with
+          | [ r1; r2 ] -> (r1, r2)
+          | _ -> assert false
+        in
         [
           order;
           Printf.sprintf "%.4f" r1.Measure.seconds;
@@ -99,12 +116,11 @@ let fig3 ?(n = 48) () =
   Buffer.add_string buf "\nTransformed program (fused + interchanged):\n";
   Buffer.add_string buf (Pretty.program_to_string transformed);
   Buffer.add_string buf "\n\nMeasured (cache2 model):\n";
-  let r_orig =
-    Measure.measure ~config:Machine.cache2 (S.Kernels.adi_fragment n)
+  let one name p =
+    List.hd (keep_runs name p [ Machine.cache2 ])
   in
-  let r_fused =
-    Measure.measure ~config:Machine.cache2 (S.Kernels.adi_fused n)
-  in
+  let r_orig = one "adi-fragment" (S.Kernels.adi_fragment n) in
+  let r_fused = one "adi-fused" (S.Kernels.adi_fused n) in
   Buffer.add_string buf
     (Printf.sprintf "  original: %.4fs (hit %.2f%%)  fused+interchanged: %.4fs (hit %.2f%%)\n"
        r_orig.Measure.seconds
@@ -126,9 +142,15 @@ let fig7 ?(n_sim = 64) () =
     "\nTransformed (distribution + triangular interchange):\n";
   Buffer.add_string buf (Pretty.program_to_string transformed);
   let sp, r1, r2 =
-    let p = S.Kernels.cholesky n_sim in
-    let p', _ = C.Compound.run_program ~cls:4 p in
-    Measure.speedup ~config:Machine.cache2 p p'
+    let r =
+      D.run_exn
+        (D.config ~cls:4
+           ~machines:[ Machine.cache2 ]
+           (D.Source_program
+              { name = "cholesky"; program = S.Kernels.cholesky n_sim }))
+    in
+    let m = List.hd r.D.measured in
+    (m.D.speedup, m.D.original_run, m.D.transformed_run)
   in
   Buffer.add_string buf
     (Printf.sprintf

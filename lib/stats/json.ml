@@ -1,0 +1,1 @@
+include Locality_obs.Json

@@ -1,0 +1,8 @@
+(** The one JSON emitter every machine-readable surface shares —
+    [memoria explain --json], the Chrome trace exporter, and any future
+    reporter. Re-exports {!Locality_obs.Json}; see [doc/SCHEMA.md] for
+    the documents built with it and the versioning policy. Top-level
+    documents carry [schema_version] (via {!versioned}) so consumers can
+    detect incompatible changes. *)
+
+include module type of Locality_obs.Json

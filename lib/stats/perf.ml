@@ -1,5 +1,5 @@
-module C = Locality_core
 module S = Locality_suite
+module D = Locality_driver.Driver
 module Measure = Locality_interp.Measure
 module Machine = Locality_cachesim.Machine
 
@@ -26,7 +26,12 @@ let table1 ?(n = 64) () =
   let rows =
     Pool.map
       (fun (label, p) ->
-        let r = Measure.measure ~config:Machine.cache1 p in
+        let res =
+          D.run_exn
+            (D.config ~transform:D.Keep ~machines:[ Machine.cache1 ]
+               (D.Source_program { name = label; program = p }))
+        in
+        let r = (List.hd res.D.measured).D.original_run in
         [
           label;
           Printf.sprintf "%.4f" r.Measure.seconds;
@@ -40,20 +45,23 @@ let table1 ?(n = 64) () =
     [ Report.Left ] [ "Version"; "Seconds"; "Hit%" ] rows
 
 (* One compound run, one trace capture per program version, then a
-   replay per cache geometry: the seed path interpreted each program
-   four times here (two configs x two [Measure.speedup] calls). *)
+   replay per cache geometry (and with a store, warm rows replay
+   nothing at all). *)
 let perf_of ?(cls = 4) name (p : Program.t) =
-  let p', _stats = C.Compound.run_program ~cls p in
-  match
-    Measure.speedup_configs ~configs:[ Machine.cache1; Machine.cache2 ] p p'
-  with
-  | [ (sp, r1, r2); (sp2, _, _) ] ->
+  let r =
+    D.run_exn
+      (D.config ~cls
+         ~machines:[ Machine.cache1; Machine.cache2 ]
+         (D.Source_program { name; program = p }))
+  in
+  match r.D.measured with
+  | [ m1; m2 ] ->
     {
       name;
-      seconds_orig = r1.Measure.seconds;
-      seconds_final = r2.Measure.seconds;
-      speedup = sp;
-      speedup2 = sp2;
+      seconds_orig = m1.D.original_run.Measure.seconds;
+      seconds_final = m1.D.transformed_run.Measure.seconds;
+      speedup = m1.D.speedup;
+      speedup2 = m2.D.speedup;
     }
   | _ -> assert false
 
@@ -121,37 +129,48 @@ type hit_row = {
 
 let table4_rows ?(n = 32) ?cls:_ ?jobs (rows : Table2.row list) =
   let rows =
-    (* Interpret each program version once and replay its trace on both
-       geometries (the seed interpreted each version twice), with the
-       per-program rows simulated in parallel. *)
+    (* Each program version is interpreted once and its trace replayed
+       on both geometries, rows in parallel; the optimizer already ran
+       in Table 2, so its output rides in as a [Provided] transform. *)
     Pool.map ?jobs
       (fun (r : Table2.row) ->
         if r.Table2.nests = 0 then None
         else begin
-          let labels = r.Table2.optimized_labels in
-          let orig = Measure.capture ~params:[ ("N", n) ] r.Table2.original in
-          let final =
-            Measure.capture ~params:[ ("N", n) ] r.Table2.transformed
+          let res =
+            D.run_exn
+              (D.config
+                 ~params:[ ("N", n) ]
+                 ~transform:
+                   (D.Provided
+                      {
+                        transformed = r.Table2.transformed;
+                        optimized_labels = r.Table2.optimized_labels;
+                      })
+                 ~machines:[ Machine.cache1; Machine.cache2 ]
+                 ~use_labels:true
+                 (D.Source_program
+                    {
+                      name = r.Table2.entry.S.Programs.name;
+                      program = r.Table2.original;
+                    }))
           in
-          let run config cap =
-            Measure.replay ~config ~optimized_labels:labels cap
-          in
-          let o1 = run Machine.cache1 orig in
-          let f1 = run Machine.cache1 final in
-          let o2 = run Machine.cache2 orig in
-          let f2 = run Machine.cache2 final in
-          Some
-            {
-              name = r.Table2.entry.S.Programs.name;
-              opt1_orig = Measure.hit_rate o1.Measure.optimized;
-              opt1_final = Measure.hit_rate f1.Measure.optimized;
-              opt2_orig = Measure.hit_rate o2.Measure.optimized;
-              opt2_final = Measure.hit_rate f2.Measure.optimized;
-              whole1_orig = Measure.hit_rate o1.Measure.whole;
-              whole1_final = Measure.hit_rate f1.Measure.whole;
-              whole2_orig = Measure.hit_rate o2.Measure.whole;
-              whole2_final = Measure.hit_rate f2.Measure.whole;
-            }
+          match res.D.measured with
+          | [ m1; m2 ] ->
+            let o1 = m1.D.original_run and f1 = m1.D.transformed_run in
+            let o2 = m2.D.original_run and f2 = m2.D.transformed_run in
+            Some
+              {
+                name = res.D.name;
+                opt1_orig = Measure.hit_rate o1.Measure.optimized;
+                opt1_final = Measure.hit_rate f1.Measure.optimized;
+                opt2_orig = Measure.hit_rate o2.Measure.optimized;
+                opt2_final = Measure.hit_rate f2.Measure.optimized;
+                whole1_orig = Measure.hit_rate o1.Measure.whole;
+                whole1_final = Measure.hit_rate f1.Measure.whole;
+                whole2_orig = Measure.hit_rate o2.Measure.whole;
+                whole2_final = Measure.hit_rate f2.Measure.whole;
+              }
+          | _ -> assert false
         end)
       rows
   in

@@ -1,5 +1,6 @@
 module C = Locality_core
 module S = Locality_suite
+module D = Locality_driver.Driver
 
 type row = {
   entry : S.Programs.entry;
@@ -50,14 +51,11 @@ let ratio_avg eval_n pairs =
   | _ -> List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
 
 let compute_row ?(n = 24) ?(cls = 4) entry =
-  let original = S.Programs.program_of ~n entry in
-  let transformed, stats = C.Compound.run_program ~cls original in
+  let r = D.run_exn (D.config ~n ~cls (D.Source_entry entry)) in
+  let original = r.D.original in
+  let stats = Option.get r.D.compound in
   let nests = stats.C.Compound.nests in
   let count f = List.length (List.filter f nests) in
-  let changed (s : C.Compound.nest_stat) =
-    s.C.Compound.permuted || s.C.Compound.fused_enabling
-    || s.C.Compound.distributed
-  in
   let eval_n = float_of_int n in
   {
     entry;
@@ -88,11 +86,8 @@ let compute_row ?(n = 24) ?(cls = 4) entry =
            (fun s -> (s.C.Compound.cost_orig, s.C.Compound.cost_ideal))
            nests);
     original;
-    transformed;
-    optimized_labels =
-      List.concat_map
-        (fun s -> if changed s then s.C.Compound.labels else [])
-        nests;
+    transformed = r.D.transformed;
+    optimized_labels = r.D.optimized_labels;
   }
 
 (* Rows are independent per program, so they are computed on the domain

@@ -1,0 +1,124 @@
+(** A content-addressed, on-disk experiment store.
+
+    Caches expensive pipeline products — captured address traces and
+    simulation statistics — keyed by a stable digest of everything that
+    determines them (normalized program text, parameter overrides, cache
+    geometry, replay mode and trace-format version, plus a store format
+    version). A warm run looks its results up instead of re-interpreting
+    and re-simulating, and is guaranteed to produce bit-identical
+    values: every entry carries a checksum footer, and any corruption,
+    truncation or version mismatch quarantines the entry and silently
+    falls back to recomputation, so a damaged store can never change
+    results or crash a run.
+
+    Layout under the root directory:
+    {v
+    <root>/objects/<hh>/<digest>.bin   entries (hh = first two hex chars)
+    <root>/quarantine/<digest>.bin     entries that failed validation
+    v}
+
+    Writes are atomic (unique temp file in the target directory, then
+    [Sys.rename]), so concurrent writers — OCaml domains under
+    [MEMORIA_JOBS] or separate processes sharing one store — race only
+    to publish identical bytes; last rename wins and readers always see
+    either nothing or a complete entry. Reads touch the entry's mtime,
+    which is the LRU clock {!gc} evicts by.
+
+    Hit/miss/write/invalidation/quarantine counts are kept in
+    process-global atomics ({!counters}) and mirrored into
+    {!Locality_obs.Obs} counters ([store.hit], [store.miss],
+    [store.write], [store.invalidation], [store.quarantine]) when
+    tracing is enabled. *)
+
+type t
+(** An opened store (a validated root directory). Immutable after
+    {!open_root}; safe to share across domains. *)
+
+val format_version : int
+(** Mixed into every key: bumping it invalidates the whole store (old
+    entries become unreachable garbage for {!gc}), which is how
+    incompatible changes to the marshalled payloads are rolled out. *)
+
+val open_root : string -> t
+(** Open (creating directories if needed) a store rooted at the given
+    path. @raise Sys_error when the directory cannot be created. *)
+
+val root : t -> string
+
+val default : unit -> t option
+(** The ambient store configured by the [MEMORIA_STORE] environment
+    variable — [Some store] rooted there when the variable is set and
+    non-empty, [None] otherwise. Resolved once at program start (so it
+    is domain-safe); a root that cannot be created disables the store
+    with a one-line warning on stderr rather than failing the run. *)
+
+(** {1 Keys} *)
+
+type key
+(** A content digest; equal parts always produce the equal key, across
+    processes and runs. *)
+
+val key : kind:string -> string list -> key
+(** [key ~kind parts] digests the kind tag, {!format_version} and every
+    part, length-prefixed so part boundaries cannot alias. *)
+
+val hex : key -> string
+(** The digest as lowercase hex (the on-disk basename). *)
+
+val equal_key : key -> key -> bool
+
+(** {1 Reading and writing} *)
+
+val put : t -> key -> string -> unit
+(** Atomically publish the payload under the key (checksummed footer
+    appended). I/O errors are swallowed — the store is a cache, and a
+    failed write only costs a future recomputation. *)
+
+val get : t -> key -> string option
+(** The validated payload, or [None] on miss. A present-but-invalid
+    entry (bad magic, length, or checksum) is quarantined and reported
+    as a miss. *)
+
+val put_value : t -> key -> 'a -> unit
+(** [put] of the marshalled value. The key must encode the value's type
+    (via the [kind] tag and key parts) — {!get_value} trusts it. *)
+
+val get_value : t -> key -> 'a option
+(** Unmarshal a validated payload. A payload that fails to unmarshal is
+    quarantined and reported as a miss. Type safety rests on the key:
+    only read a key with the type it was written with. *)
+
+val object_path : t -> key -> string
+(** Where the entry lives (exposed for the store tooling and tests). *)
+
+(** {1 Counters} *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  writes : int;
+  invalidations : int;  (** entries dropped for bad magic or length *)
+  quarantines : int;  (** entries quarantined for checksum/decode failure *)
+}
+
+val counters : unit -> counters
+(** Process-wide totals across every store opened by this process. *)
+
+(** {1 Maintenance} *)
+
+type disk_stats = {
+  entries : int;
+  bytes : int;  (** payloads + footers, as stored *)
+  quarantined : int;  (** files currently in quarantine/ *)
+}
+
+val disk_stats : t -> disk_stats
+
+val verify : t -> int * int
+(** Validate every entry's footer and checksum; quarantine failures.
+    Returns [(ok, quarantined)]. *)
+
+val gc : t -> max_bytes:int -> int * int
+(** Evict least-recently-used entries (mtime order, oldest first) until
+    the objects directory holds at most [max_bytes]; also empties the
+    quarantine. Returns [(deleted, remaining_bytes)]. *)

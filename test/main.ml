@@ -19,4 +19,5 @@ let () =
       ("trace", Test_trace.suite);
       ("runs", Test_runs.suite);
       ("obs", Test_obs.suite);
+      ("store", Test_store.suite);
     ]
