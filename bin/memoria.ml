@@ -606,6 +606,100 @@ let store_cmd =
           geometry.")
     [ stats_cmd; verify_cmd; gc_cmd ]
 
+let fuzz_cmd =
+  let module Fuzz = Locality_fuzz in
+  let run seed count max_size oracles corpus jobs trace profile =
+    let oracles =
+      match oracles with
+      | [] -> Fuzz.Oracle.all
+      | names -> List.map (fun s -> or_die (Fuzz.Oracle.kind_of_string s)) names
+    in
+    let outcome =
+      with_obs ~trace ~profile (fun () ->
+          Obs.span "fuzz" (fun () ->
+              Fuzz.Harness.run ?jobs ?corpus_dir:corpus ~seed ~count ~max_size
+                ~oracles ()))
+    in
+    Printf.printf "fuzz: seed=%d count=%d max-size=%d oracles=%s\n" seed count
+      max_size
+      (String.concat "," (List.map Fuzz.Oracle.kind_to_string oracles));
+    (match outcome.Fuzz.Harness.failures with
+    | [] -> Printf.printf "generated %d programs: no oracle failures\n" count
+    | failures ->
+      Printf.printf "generated %d programs: %d with oracle failures\n" count
+        (List.length failures);
+      List.iter
+        (fun (f : Fuzz.Harness.failure) ->
+          Printf.printf "\n--- index %d (%d shrink steps) ---\n" f.index
+            f.shrink_steps;
+          List.iter
+            (fun (fd : Fuzz.Oracle.finding) ->
+              Printf.printf "  [%s] %s\n"
+                (Fuzz.Oracle.kind_to_string fd.Fuzz.Oracle.kind)
+                fd.Fuzz.Oracle.detail)
+            f.findings;
+          print_endline (Pretty.program_to_string f.shrunk))
+        failures);
+    List.iter
+      (fun path -> Printf.printf "reproducer written: %s\n" path)
+      outcome.Fuzz.Harness.corpus_files;
+    if outcome.Fuzz.Harness.failures <> [] then exit 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Master seed of the campaign.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:"Size budget per program (loops plus statements).")
+  in
+  let oracle_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "oracle" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated oracles to run: $(b,exec) (transform \
+             semantics under the interpreter), $(b,replay) (v1 vs v2 \
+             trace replay), $(b,roundtrip) (pretty-print/reparse), \
+             $(b,cgen) (native C checksum). Default: all.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write shrunk reproducers for any failure into DIR.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size (default: $(b,MEMORIA_JOBS) or the \
+             recommended domain count); the outcome is identical at any \
+             value.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the pipeline: generate random loop nests and \
+          check transform semantics, trace replay, the frontend round trip \
+          and the native backend against each other; shrink and report any \
+          disagreement.")
+    Term.(
+      const run $ seed_arg $ count_arg $ max_size_arg $ oracle_arg
+      $ corpus_arg $ jobs_arg $ trace_arg $ profile_arg)
+
 let main =
   Cmd.group
     (Cmd.info "memoria" ~version:"1.0.0"
@@ -633,7 +727,7 @@ let main =
          ])
     [
       opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
-      cgen_cmd; kernels_cmd; suite_cmd; store_cmd;
+      cgen_cmd; kernels_cmd; suite_cmd; fuzz_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

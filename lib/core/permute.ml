@@ -49,7 +49,7 @@ let negate_loop_entries deps x =
    order preference) whose entry cannot be negative for any still-
    undecided dependence; placing a loop decides the dependences it
    definitely carries. Returns the order plus the loops reversed. *)
-let greedy_place ~try_reversal ~preference ~deps ~inner =
+let greedy_place ~try_reversal ~reversible ~preference ~deps ~inner =
   let rec place remaining undecided acc reversed deps =
     match remaining with
     | [] ->
@@ -74,7 +74,9 @@ let greedy_place ~try_reversal ~preference ~deps ~inner =
         List.find_map
           (fun x ->
             if placeable x undecided then Some (x, false)
-            else if try_reversal && placeable x (negate_loop_entries undecided x)
+            else if
+              try_reversal && reversible x
+              && placeable x (negate_loop_entries undecided x)
             then Some (x, true)
             else None)
           remaining
@@ -130,6 +132,20 @@ let run ?(cls = 4) ?(try_reversal = true) nest =
   else
     let deps = List.filter Dep.is_true_dep deps_all in
     let target = Memorder.order mo in
+    (* Reversal.apply only knows how to mirror unit-step loops; offering a
+       stepped loop to the greedy placer would make [apply] raise. *)
+    let reversible =
+      let tbl = Hashtbl.create 8 in
+      let rec note (l : Loop.t) =
+        Hashtbl.replace tbl l.Loop.header.Loop.index
+          (l.Loop.header.Loop.step = 1);
+        List.iter
+          (function Loop.Stmt _ -> () | Loop.Loop inner -> note inner)
+          l.Loop.body
+      in
+      note nest;
+      fun x -> match Hashtbl.find_opt tbl x with Some b -> b | None -> false
+    in
     let apply order reversed =
       let nest' =
         List.fold_left (fun n x -> Reversal.apply n ~loop:x) nest reversed
@@ -181,7 +197,9 @@ let run ?(cls = 4) ?(try_reversal = true) nest =
       in
       let greedy =
         List.filter_map
-          (fun inner -> greedy_place ~try_reversal ~preference:target ~deps ~inner)
+          (fun inner ->
+            greedy_place ~try_reversal ~reversible ~preference:target ~deps
+              ~inner)
           (List.rev target)
       in
       let seen = Hashtbl.create 8 in

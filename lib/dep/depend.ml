@@ -177,6 +177,15 @@ let slot_sign_possible ~src_path ~snk_path ~ncommon ~(v : Direction.t) ~slot
       add_ge (Expr.Var x) lb;
       add_ge ub (Expr.Var x)
     in
+    (* A header's (lb, ub) are the start and end values; for a negative
+       step the start is the *largest* value, so the value range is
+       [ub, lb]. Every range fact below must use (lo, hi), not (lb, ub):
+       getting this backwards proved reversed-loop iterations out of
+       bounds and silently dropped their dependences. *)
+    let value_range (h : Loop.header) =
+      if h.Loop.step >= 0 then (h.Loop.lb, h.Loop.ub)
+      else (h.Loop.ub, h.Loop.lb)
+    in
     List.iteri
       (fun p (h : Loop.header) ->
         let x = h.Loop.index in
@@ -199,7 +208,8 @@ let slot_sign_possible ~src_path ~snk_path ~ncommon ~(v : Direction.t) ~slot
         let share () =
           (* The shared variable must satisfy the sink-side header range
              too (bounds may reference renamed variables). *)
-          add_range_constraints x (rename_expr h.Loop.lb) (rename_expr h.Loop.ub)
+          let lo, hi = value_range h in
+          add_range_constraints x (rename_expr lo) (rename_expr hi)
         in
         if p = slot then begin
           (* The sign hypothesis is encoded in the renamed header itself
@@ -299,7 +309,8 @@ let slot_sign_possible ~src_path ~snk_path ~ncommon ~(v : Direction.t) ~slot
         List.fold_left (fun a (y, e) -> Affine.subst a y e) a !pins
       in
       let feasible_header (h : Loop.header) =
-        match (Affine.of_expr h.Loop.lb, Affine.of_expr h.Loop.ub) with
+        let lo, hi = value_range h in
+        match (Affine.of_expr lo, Affine.of_expr hi) with
         | Some lb, Some ub -> (
           let lb = subst_pins lb and ub = subst_pins ub in
           match List.assoc_opt h.Loop.index !pins with

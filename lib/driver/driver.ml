@@ -99,10 +99,14 @@ let load ?n source =
       Ok (path, resize n p)
     with
     | Sys_error msg -> Error msg
-    | Locality_lang.Lexer.Error (msg, line) ->
-      Error (Printf.sprintf "%s:%d: lexical error: %s" path line msg)
-    | Locality_lang.Parser.Error (msg, line) ->
-      Error (Printf.sprintf "%s:%d: syntax error: %s" path line msg)
+    | Locality_lang.Lexer.Error (msg, loc) ->
+      Error
+        (Printf.sprintf "%s:%s: lexical error: %s" path
+           (Locality_lang.Lexer.pp_loc loc) msg)
+    | Locality_lang.Parser.Error (msg, loc) ->
+      Error
+        (Printf.sprintf "%s:%s: syntax error: %s" path
+           (Locality_lang.Lexer.pp_loc loc) msg)
     | Locality_lang.Lower.Error msg ->
       Error (Printf.sprintf "%s: %s" path msg))
 

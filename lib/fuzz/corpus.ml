@@ -1,0 +1,40 @@
+module L = Locality_lang
+
+let entry ~seed ~index ~finding p =
+  String.concat "\n"
+    [
+      "! memoria fuzz reproducer (shrunk)";
+      Printf.sprintf "! seed=%d index=%d oracle=%s" seed index
+        (Oracle.kind_to_string finding.Oracle.kind);
+      Printf.sprintf "! %s" finding.Oracle.detail;
+      Pretty.program_to_string p;
+      "";
+    ]
+
+let file_name ~seed ~index ~kind =
+  Printf.sprintf "fuzz_s%d_i%d_%s.f" (seed land 0x7FFFFFFF) index
+    (Oracle.kind_to_string kind)
+
+let save ~dir ~seed ~index ~finding p =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir (file_name ~seed ~index ~kind:finding.Oracle.kind)
+  in
+  let oc = open_out path in
+  output_string oc (entry ~seed ~index ~finding p);
+  close_out oc;
+  path
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".f")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           let ic = open_in_bin path in
+           let len = in_channel_length ic in
+           let src = really_input_string ic len in
+           close_in ic;
+           (f, L.Lower.parse_program src))

@@ -1,0 +1,208 @@
+module Driver = Locality_driver.Driver
+module Measure = Locality_interp.Measure
+module Exec = Locality_interp.Exec
+module L = Locality_lang
+
+type kind = [ `Exec | `Replay | `Roundtrip | `Cgen ]
+
+let all = [ `Exec; `Replay; `Roundtrip; `Cgen ]
+
+let kind_to_string = function
+  | `Exec -> "exec"
+  | `Replay -> "replay"
+  | `Roundtrip -> "roundtrip"
+  | `Cgen -> "cgen"
+
+let kind_of_string = function
+  | "exec" -> Ok `Exec
+  | "replay" -> Ok `Replay
+  | "roundtrip" -> Ok `Roundtrip
+  | "cgen" -> Ok `Cgen
+  | s ->
+    Error
+      (Printf.sprintf "unknown oracle %s (expected exec|replay|roundtrip|cgen)"
+         s)
+
+type finding = { kind : kind; detail : string }
+
+let compiler =
+  lazy
+    (List.find_opt
+       (fun cc ->
+         Sys.command (Printf.sprintf "command -v %s >/dev/null 2>&1" cc) = 0)
+       [ "cc"; "gcc"; "clang" ])
+
+let cgen_available () = Lazy.force compiler <> None
+
+let transform p =
+  let cfg =
+    Driver.config ~machines:[] ~store:None
+      (Driver.Source_program { name = p.Program.name; program = p })
+  in
+  Result.map (fun (r : Driver.result) -> r.Driver.transformed) (Driver.run cfg)
+
+(* Values must agree bitwise (covers inf/nan produced identically on
+   both sides) or within a small relative tolerance (covers reductions
+   reassociated by reordering transforms). *)
+let close a b =
+  Float.equal a b
+  || Float.abs (a -. b)
+     <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_exec p pt =
+  let ra = Exec.run p and rb = Exec.run pt in
+  let rec arrays = function
+    | [], [] -> None
+    | (name, a) :: resta, (name', b) :: restb ->
+      if name <> name' then
+        Some (Printf.sprintf "array order differs: %s vs %s" name name')
+      else if Array.length a <> Array.length b then
+        Some
+          (Printf.sprintf "array %s: %d vs %d elements" name (Array.length a)
+             (Array.length b))
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun i x ->
+            if !bad = None && not (close x b.(i)) then
+              bad :=
+                Some
+                  (Printf.sprintf "array %s element %d: %.17g vs %.17g" name i
+                     x b.(i)))
+          a;
+        match !bad with None -> arrays (resta, restb) | some -> some
+      end
+    | _ -> Some "different array sets"
+  in
+  match arrays (ra.Exec.arrays, rb.Exec.arrays) with
+  | None -> []
+  | Some detail -> [ { kind = `Exec; detail } ]
+
+let region_equal (a : Measure.region) (b : Measure.region) =
+  a.Measure.accesses = b.Measure.accesses
+  && a.Measure.hits = b.Measure.hits
+  && a.Measure.cold = b.Measure.cold
+
+let check_replay ~which p =
+  let run mode =
+    Measure.replay_prepared (Measure.prepare ~mode ~store:None p)
+  in
+  let a = run Measure.Per_access and b = run Measure.Runs in
+  let diffs =
+    List.filter_map
+      (fun (field, same) -> if same then None else Some field)
+      [
+        ("whole", region_equal a.Measure.whole b.Measure.whole);
+        ("optimized", region_equal a.Measure.optimized b.Measure.optimized);
+        ("ops", a.Measure.ops = b.Measure.ops);
+        ("cycles", Float.equal a.Measure.cycles b.Measure.cycles);
+        ("seconds", Float.equal a.Measure.seconds b.Measure.seconds);
+      ]
+  in
+  if diffs = [] then []
+  else
+    [
+      {
+        kind = `Replay;
+        detail =
+          Printf.sprintf "%s: per-access and runs replay disagree on %s" which
+            (String.concat ", " diffs);
+      };
+    ]
+
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go n = function
+    | x :: xs, y :: ys -> if x = y then go (n + 1) (xs, ys) else (n, x, y)
+    | x :: _, [] -> (n, x, "<end>")
+    | [], y :: _ -> (n, "<end>", y)
+    | [], [] -> (n, "", "")
+  in
+  go 1 (la, lb)
+
+let check_roundtrip ~which p =
+  let fail detail = [ { kind = `Roundtrip; detail = which ^ ": " ^ detail } ] in
+  let text = Pretty.program_to_string p in
+  match L.Lower.parse_program text with
+  | exception L.Lexer.Error (msg, loc) ->
+    fail
+      (Printf.sprintf "lex error %d:%d: %s" loc.L.Lexer.line loc.L.Lexer.col
+         msg)
+  | exception L.Parser.Error (msg, loc) ->
+    fail
+      (Printf.sprintf "parse error %d:%d: %s" loc.L.Lexer.line loc.L.Lexer.col
+         msg)
+  | exception L.Lower.Error msg -> fail (Printf.sprintf "lower error: %s" msg)
+  | p2 ->
+    let text2 = Pretty.program_to_string p2 in
+    if String.equal text text2 then []
+    else
+      let n, a, b = first_diff_line text text2 in
+      fail (Printf.sprintf "reprint differs at line %d: %S vs %S" n a b)
+
+let interp_checksum p =
+  let r = Exec.run p in
+  List.fold_left
+    (fun acc (_, a) -> Array.fold_left ( +. ) acc a)
+    0.0 r.Exec.arrays
+
+(* Compile and run the generated C, returning its printed checksum. *)
+let run_c_checksum name csrc =
+  match Lazy.force compiler with
+  | None -> `No_compiler
+  | Some cc ->
+    let dir = Filename.get_temp_dir_name () in
+    let base = Filename.concat dir ("memoria_fuzz_" ^ name) in
+    let cfile = base ^ ".c" and exe = base ^ ".out" and outf = base ^ ".txt" in
+    let oc = open_out cfile in
+    output_string oc csrc;
+    close_out oc;
+    let result =
+      if
+        Sys.command
+          (Printf.sprintf "%s -O1 -o %s %s -lm 2>/dev/null" cc exe cfile)
+        <> 0
+      then `Failed "C compilation failed"
+      else if Sys.command (Printf.sprintf "%s > %s" exe outf) <> 0 then
+        `Failed "compiled binary exited non-zero"
+      else begin
+        let ic = open_in outf in
+        let line = input_line ic in
+        close_in ic;
+        match float_of_string_opt line with
+        | Some c -> `Checksum c
+        | None -> `Failed (Printf.sprintf "unparsable checksum output %S" line)
+      end
+    in
+    List.iter
+      (fun f -> try Sys.remove f with Sys_error _ -> ())
+      [ cfile; exe; outf ];
+    result
+
+let check_cgen ~which p =
+  let fail detail = [ { kind = `Cgen; detail = which ^ ": " ^ detail } ] in
+  match run_c_checksum (p.Program.name ^ "_" ^ which) (Pretty_c.program_to_c p)
+  with
+  | `No_compiler -> []
+  | `Failed msg -> fail msg
+  | `Checksum native ->
+    let expected = interp_checksum p in
+    if close native expected then []
+    else
+      fail
+        (Printf.sprintf "native checksum %.9g, interpreter %.9g" native
+           expected)
+
+let check ?(oracles = all) p =
+  let want k = List.mem k oracles in
+  match transform p with
+  | Error msg -> [ { kind = `Exec; detail = "compound transform failed: " ^ msg } ]
+  | Ok pt ->
+    let versions = [ ("original", p); ("transformed", pt) ] in
+    let on_both f =
+      List.concat_map (fun (which, v) -> f ~which v) versions
+    in
+    (if want `Exec then check_exec p pt else [])
+    @ (if want `Replay then on_both check_replay else [])
+    @ (if want `Roundtrip then on_both check_roundtrip else [])
+    @ if want `Cgen && cgen_available () then on_both check_cgen else []

@@ -1,0 +1,47 @@
+(** The differential oracle stack.
+
+    Each oracle checks one agreement the repo's execution layers must
+    hold for {e every} legal program:
+
+    - [`Exec]: the {!Locality_core.Compound} transform preserves
+      semantics — original and transformed programs compute the same
+      arrays under the reference interpreter (element-wise, with a small
+      relative tolerance for reassociated reductions; non-finite values
+      must match bitwise).
+    - [`Replay]: the v1 per-access and v2 run-compressed trace formats
+      produce field-identical {!Locality_interp.Measure.run} statistics,
+      on both program versions.
+    - [`Roundtrip]: {!Pretty} output re-parses through the [Lang]
+      frontend to a program with the same canonical text, on both
+      program versions.
+    - [`Cgen]: the {!Pretty_c} native backend (when a C compiler is on
+      [PATH]) computes the interpreter's checksum, on both versions.
+
+    Oracles are pure observers: a failed check is returned as a
+    {!finding}, never raised. *)
+
+type kind = [ `Exec | `Replay | `Roundtrip | `Cgen ]
+
+val all : kind list
+(** Every oracle, in check order. *)
+
+val kind_of_string : string -> (kind, string) result
+val kind_to_string : kind -> string
+
+type finding = {
+  kind : kind;
+  detail : string;  (** one-line human-readable disagreement *)
+}
+
+val cgen_available : unit -> bool
+(** Whether a C compiler ([cc]/[gcc]/[clang]) is on [PATH]; memoised. *)
+
+val transform : Program.t -> (Program.t, string) result
+(** The program under the default {!Locality_driver.Driver} compound
+    transform, store disabled. Errors are pipeline failures (themselves
+    findings, reported by {!check} as [`Exec]). *)
+
+val check : ?oracles:kind list -> Program.t -> finding list
+(** Run the requested oracles (default {!all}, with [`Cgen] skipped
+    when no compiler is present) against one generated program. The
+    compound transform runs once and is shared by all oracles. *)

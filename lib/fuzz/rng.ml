@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+(* Sebastiano Vigna's SplitMix64 finaliser. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let make seed = { state = mix (Int64.of_int seed) }
+
+let derive seed index =
+  (* Mix the index through a different constant so streams for
+     consecutive indices share no prefix. *)
+  let s = mix (Int64.add (Int64.of_int seed)
+                 (Int64.mul (Int64.of_int (index + 1)) 0xda942042e4dd58b5L)) in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t p = float_of_int (int t 1_000_000) < p *. 1_000_000.0
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let weighted t xs =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 xs in
+  if total <= 0 then invalid_arg "Rng.weighted: non-positive total weight";
+  let n = int t total in
+  let rec go n = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n xs

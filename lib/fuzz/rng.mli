@@ -1,0 +1,34 @@
+(** Deterministic SplitMix64 stream, independent of [Stdlib.Random].
+
+    The fuzzer's reproducibility contract — the same seed generates the
+    same programs on any machine, any [MEMORIA_JOBS] value, and any
+    OCaml release — rules out the stdlib generator (whose algorithm has
+    changed between releases). SplitMix64 is tiny, well mixed, and
+    splittable: {!derive} gives every work item its own stream keyed by
+    index, so parallel fuzzing draws no values from shared state. *)
+
+type t
+
+val make : int -> t
+(** A fresh stream seeded by the given integer. *)
+
+val derive : int -> int -> t
+(** [derive seed index] is the stream for work item [index] of master
+    seed [seed]; distinct indices give decorrelated streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick with integer weights; total weight must be positive. *)

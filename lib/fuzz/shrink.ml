@@ -1,0 +1,240 @@
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------ size --- *)
+
+(* Int literals weigh 1 and variables 2, so replacing [N] by [2] in a
+   bound, or a compound subscript by [1], strictly shrinks. *)
+let rec expr_size (e : Expr.t) =
+  match e with
+  | Expr.Int _ -> 1
+  | Expr.Var _ -> 2
+  | Expr.Neg a -> 1 + expr_size a
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Min (a, b)
+  | Expr.Max (a, b) | Expr.Div (a, b) ->
+    1 + expr_size a + expr_size b
+
+let ref_size (r : Reference.t) =
+  2 + List.fold_left (fun acc s -> acc + expr_size s) 0 r.Reference.subs
+
+let rec rexpr_size (e : Stmt.rexpr) =
+  match e with
+  | Stmt.Const _ -> 1
+  | Stmt.Scalar _ -> 2
+  | Stmt.Iexpr ie -> 1 + expr_size ie
+  | Stmt.Load r -> ref_size r
+  | Stmt.Unop (_, a) -> 1 + rexpr_size a
+  | Stmt.Binop (_, a, b) -> 1 + rexpr_size a + rexpr_size b
+
+let stmt_size (s : Stmt.t) =
+  rexpr_size s.Stmt.rhs
+  + match s.Stmt.lhs with Stmt.Store r -> ref_size r | Stmt.Scalar_set _ -> 2
+
+let rec node_size = function
+  | Loop.Stmt s -> stmt_size s
+  | Loop.Loop l ->
+    3
+    + abs (l.Loop.header.Loop.step - 1)
+    + expr_size l.Loop.header.Loop.lb
+    + expr_size l.Loop.header.Loop.ub
+    + block_size l.Loop.body
+
+and block_size b = List.fold_left (fun acc n -> acc + node_size n) 0 b
+
+let size (p : Program.t) =
+  block_size p.Program.body
+  + List.fold_left (fun acc (_, v) -> acc + v) 0 p.Program.params
+  + List.fold_left
+      (fun acc (d : Decl.t) -> acc + 3 + Decl.rank d)
+      0 p.Program.decls
+
+(* ------------------------------------------------- candidate edits --- *)
+
+(* Strictly-smaller replacements for an integer expression (bounds and
+   subscripts). Every candidate stays within [1, N]-style ranges when
+   the original did, so shrunk programs cannot step out of bounds. *)
+let expr_candidates (e : Expr.t) =
+  let smaller alt = expr_size alt < expr_size e in
+  let parts =
+    match e with
+    | Expr.Int _ | Expr.Var _ -> []
+    | Expr.Neg a -> [ a ]
+    | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Min (a, b)
+    | Expr.Max (a, b) | Expr.Div (a, b) ->
+      [ a; b ]
+  in
+  List.filter smaller (Expr.Int 1 :: Expr.Int 2 :: parts)
+
+let sub_candidates = expr_candidates
+
+let ref_candidates (r : Reference.t) =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         List.map
+           (fun s' ->
+             {
+               r with
+               Reference.subs =
+                 List.mapi
+                   (fun j x -> if i = j then s' else x)
+                   r.Reference.subs;
+             })
+           (sub_candidates s))
+       r.Reference.subs)
+
+let rec rexpr_candidates (e : Stmt.rexpr) =
+  let smaller alt = rexpr_size alt < rexpr_size e in
+  let structural =
+    match e with
+    | Stmt.Const _ | Stmt.Scalar _ -> []
+    | Stmt.Iexpr ie -> List.map (fun x -> Stmt.Iexpr x) (expr_candidates ie)
+    | Stmt.Load r -> List.map (fun x -> Stmt.Load x) (ref_candidates r)
+    | Stmt.Unop (op, a) ->
+      (a :: List.map (fun a' -> Stmt.Unop (op, a')) (rexpr_candidates a))
+    | Stmt.Binop (op, a, b) ->
+      a :: b
+      :: List.map (fun a' -> Stmt.Binop (op, a', b)) (rexpr_candidates a)
+      @ List.map (fun b' -> Stmt.Binop (op, a, b')) (rexpr_candidates b)
+  in
+  List.filter smaller (Stmt.Const 1.0 :: structural)
+
+let stmt_candidates (s : Stmt.t) =
+  let rhs = List.map (fun r -> { s with Stmt.rhs = r }) (rexpr_candidates s.Stmt.rhs) in
+  let lhs =
+    match s.Stmt.lhs with
+    | Stmt.Store r ->
+      List.map (fun r' -> { s with Stmt.lhs = Stmt.Store r' }) (ref_candidates r)
+    | Stmt.Scalar_set _ -> []
+  in
+  rhs @ lhs
+
+let header_candidates (h : Loop.header) =
+  let with_lb lb = { h with Loop.lb = lb } in
+  let with_ub ub = { h with Loop.ub = ub } in
+  List.map with_lb (expr_candidates h.Loop.lb)
+  @ List.map with_ub (expr_candidates h.Loop.ub)
+  @ (if h.Loop.step <> 1 then [ { h with Loop.step = 1 } ] else [])
+
+(* Substitute an index everywhere in a subtree, including the bounds of
+   nested loop headers. *)
+let rec subst_node x e = function
+  | Loop.Stmt s -> Loop.Stmt (Stmt.subst_index s x e)
+  | Loop.Loop l ->
+    let h = l.Loop.header in
+    Loop.Loop
+      {
+        Loop.header =
+          { h with Loop.lb = Expr.subst h.Loop.lb x e;
+            ub = Expr.subst h.Loop.ub x e };
+        body = List.map (subst_node x e) l.Loop.body;
+      }
+
+(* All strictly-smaller variants of a block: drop a node, rewrite a
+   node in place, or splice a constant-lower-bound loop's body with the
+   index substituted by that constant. *)
+let rec block_candidates (b : Loop.block) : Loop.block list =
+  let at i f = List.mapi (fun j x -> if i = j then f x else [ x ]) b |> List.concat in
+  List.concat
+    (List.mapi
+       (fun i node ->
+         (* drop *)
+         [ List.filteri (fun j _ -> j <> i) b ]
+         @
+         match node with
+         | Loop.Stmt s ->
+           List.map (fun s' -> at i (fun _ -> [ Loop.Stmt s' ])) (stmt_candidates s)
+         | Loop.Loop l ->
+           (* inline: DO I = k, ... -> body with I := k *)
+           (match l.Loop.header.Loop.lb with
+           | Expr.Int k ->
+             let inlined =
+               List.map
+                 (subst_node l.Loop.header.Loop.index (Expr.Int k))
+                 l.Loop.body
+             in
+             [ at i (fun _ -> inlined) ]
+           | _ -> [])
+           @ List.map
+               (fun h -> at i (fun _ -> [ Loop.Loop { l with Loop.header = h } ]))
+               (header_candidates l.Loop.header)
+           @ List.map
+               (fun body' -> at i (fun _ -> [ Loop.Loop { l with Loop.body = body' } ]))
+               (block_candidates l.Loop.body))
+       b)
+
+let referenced_arrays (p : Program.t) =
+  let acc = ref SS.empty in
+  let rec go b =
+    List.iter
+      (function
+        | Loop.Stmt s ->
+          List.iter
+            (fun (r, _) -> acc := SS.add r.Reference.array !acc)
+            (Stmt.refs s)
+        | Loop.Loop l -> go l.Loop.body)
+      b
+  in
+  go p.Program.body;
+  !acc
+
+let candidates (p : Program.t) =
+  let bodies =
+    List.map (fun b -> { p with Program.body = b }) (block_candidates p.Program.body)
+  in
+  let params =
+    List.concat_map
+      (fun (x, v) ->
+        if v > 2 then
+          [
+            {
+              p with
+              Program.params =
+                List.map
+                  (fun (y, w) -> if x = y then (y, v - 1) else (y, w))
+                  p.Program.params;
+            };
+          ]
+        else [])
+      p.Program.params
+  in
+  let decls =
+    let used = referenced_arrays p in
+    List.filter_map
+      (fun (d : Decl.t) ->
+        if SS.mem d.Decl.name used then None
+        else
+          Some
+            {
+              p with
+              Program.decls =
+                List.filter
+                  (fun (d' : Decl.t) -> d'.Decl.name <> d.Decl.name)
+                  p.Program.decls;
+            })
+      p.Program.decls
+  in
+  bodies @ params @ decls
+
+(* ---------------------------------------------------------- driver --- *)
+
+let shrink ~fails p =
+  let steps = ref 0 in
+  let current = ref p in
+  let continue_ = ref true in
+  (* The size metric strictly decreases on every accepted step, so this
+     terminates; the cap is belt and braces. *)
+  while !continue_ && !steps < 1000 do
+    let sz = size !current in
+    let next =
+      List.find_opt
+        (fun c ->
+          size c < sz && Result.is_ok (Program.validate c) && fails c)
+        (candidates !current)
+    in
+    match next with
+    | Some c ->
+      incr steps;
+      current := c
+    | None -> continue_ := false
+  done;
+  (!current, !steps)

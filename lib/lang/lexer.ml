@@ -1,4 +1,8 @@
-exception Error of string * int
+type loc = { line : int; col : int }
+
+let pp_loc l = Printf.sprintf "%d:%d" l.line l.col
+
+exception Error of string * loc
 
 let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -18,24 +22,40 @@ let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
-  let at_line_start = ref true in
-  let emit t = tokens := (t, !line) :: !tokens in
+  let line_start = ref 0 in
+  let i = ref 0 in
+  let loc () = { line = !line; col = !i - !line_start + 1 } in
+  let emit t = tokens := (t, loc ()) :: !tokens in
+  let emit_at l t = tokens := (t, l) :: !tokens in
   let last_was_newline () =
     match !tokens with (Token.NEWLINE, _) :: _ | [] -> true | _ -> false
   in
-  let i = ref 0 in
+  (* A column-1 [C ] line is a Fortran comment — unless its first
+     non-blank continuation is [=], which makes it an assignment to the
+     scalar C ([C = 2.0] is a statement, not a comment). *)
+  let c_comment_starts_here () =
+    !i = !line_start
+    && !i + 1 < n
+    && src.[!i + 1] = ' '
+    &&
+    let j = ref (!i + 1) in
+    while !j < n && (src.[!j] = ' ' || src.[!j] = '\t') do
+      incr j
+    done;
+    not (!j < n && src.[!j] = '=')
+  in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       if not (last_was_newline ()) then emit Token.NEWLINE;
-      incr line;
       incr i;
-      at_line_start := true
+      incr line;
+      line_start := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then begin
       incr i
     end
-    else if c = '!' || ((c = 'C' || c = 'c') && !at_line_start && !i + 1 < n && src.[!i + 1] = ' ')
+    else if c = '!' || ((c = 'C' || c = 'c') && c_comment_starts_here ())
     then begin
       (* Comment to end of line. *)
       while !i < n && src.[!i] <> '\n' do
@@ -43,7 +63,7 @@ let tokenize src =
       done
     end
     else begin
-      at_line_start := false;
+      let start_loc = loc () in
       if is_digit c then begin
         let start = !i in
         while !i < n && is_digit src.[!i] do
@@ -72,12 +92,13 @@ let tokenize src =
               (String.sub src start (!i - start))
           in
           match float_of_string_opt text with
-          | Some f -> emit (Token.FLOAT f)
-          | None -> raise (Error (Printf.sprintf "bad number %s" text, !line))
+          | Some f -> emit_at start_loc (Token.FLOAT f)
+          | None ->
+            raise (Error (Printf.sprintf "bad number %s" text, start_loc))
         end
         else
           let text = String.sub src start (!i - start) in
-          emit (Token.INT (int_of_string text))
+          emit_at start_loc (Token.INT (int_of_string text))
       end
       else if is_alpha c then begin
         let start = !i in
@@ -87,7 +108,7 @@ let tokenize src =
         let text = String.sub src start (!i - start) in
         match keyword text with
         | Some kw ->
-          emit kw;
+          emit_at start_loc kw;
           (* Swallow the *8 of REAL*8. *)
           if kw = Token.KW_REAL && !i < n && src.[!i] = '*' then begin
             incr i;
@@ -95,7 +116,7 @@ let tokenize src =
               incr i
             done
           end
-        | None -> emit (Token.IDENT text)
+        | None -> emit_at start_loc (Token.IDENT text)
       end
       else begin
         (match c with
@@ -107,7 +128,9 @@ let tokenize src =
         | '-' -> emit Token.MINUS
         | '*' -> emit Token.STAR
         | '/' -> emit Token.SLASH
-        | c -> raise (Error (Printf.sprintf "unexpected character %c" c, !line)));
+        | c ->
+          raise
+            (Error (Printf.sprintf "unexpected character %c" c, start_loc)));
         incr i
       end
     end

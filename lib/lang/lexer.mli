@@ -1,13 +1,20 @@
 (** Hand-written lexer for the kernel language.
 
-    Case-insensitive keywords; [!] and [C] (in column 1, Fortran style)
+    Case-insensitive keywords; [!] anywhere and [C] in column 1
+    (Fortran style, except when it introduces an assignment [C = ...])
     start comments to end of line; blank lines collapse; [REAL*8] is
     accepted and the width ignored. *)
 
-exception Error of string * int
-(** message, line number *)
+type loc = { line : int; col : int }
+(** 1-based source position of a token's first character. *)
 
-val tokenize : string -> (Token.t * int) list
-(** Token stream with line numbers, ending in [EOF]. Consecutive
+val pp_loc : loc -> string
+(** ["line:col"]. *)
+
+exception Error of string * loc
+(** message (including the offending text), position *)
+
+val tokenize : string -> (Token.t * loc) list
+(** Token stream with source positions, ending in [EOF]. Consecutive
     NEWLINEs are collapsed and a leading newline is dropped.
     @raise Error on invalid characters or malformed numbers. *)

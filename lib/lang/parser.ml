@@ -1,14 +1,18 @@
-exception Error of string * int
+exception Error of string * Lexer.loc
 
-type state = { mutable toks : (Token.t * int) list }
+type state = { mutable toks : (Token.t * Lexer.loc) list }
 
 let peek st = match st.toks with (t, _) :: _ -> t | [] -> Token.EOF
-let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let loc st =
+  match st.toks with
+  | (_, l) :: _ -> l
+  | [] -> { Lexer.line = 0; col = 0 }
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
-let fail st msg = raise (Error (msg, line st))
+let fail st msg = raise (Error (msg, loc st))
 
 let expect st tok =
   if peek st = tok then advance st

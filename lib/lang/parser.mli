@@ -14,8 +14,8 @@
     atom      ::= number | id [ ( expr {, expr} ) ] | ( expr )
     v} *)
 
-exception Error of string * int
-(** message, line *)
+exception Error of string * Lexer.loc
+(** message (naming the offending token), position *)
 
 val parse : string -> Ast.program
 (** @raise Error on syntax errors; @raise Lexer.Error on lexical errors. *)

@@ -60,13 +60,11 @@ let fig2 ?(n_sim = 64) () =
     Locality_par.Pool.map
       (fun order ->
         let r1, r2 =
-          match
-            keep_runs ("matmul-" ^ order)
-              (S.Kernels.matmul ~order n_sim)
-              [ Machine.cache1; Machine.cache2 ]
-          with
-          | [ r1; r2 ] -> (r1, r2)
-          | _ -> assert false
+          Perf.two_machine_rows ~where:"Figures.fig2"
+            ~program:("matmul-" ^ order)
+            (keep_runs ("matmul-" ^ order)
+               (S.Kernels.matmul ~order n_sim)
+               [ Machine.cache1; Machine.cache2 ])
         in
         [
           order;

@@ -13,6 +13,18 @@ type perf_row = {
 
 module Pool = Locality_par.Pool
 
+(* The driver returns one measured row per requested machine; these
+   tables always ask for exactly cache1 and cache2. Anything else is a
+   wiring error worth naming precisely. *)
+let two_machine_rows ~where ~program = function
+  | [ m1; m2 ] -> (m1, m2)
+  | ms ->
+    invalid_arg
+      (Printf.sprintf
+         "%s: program %S: expected 2 measured machine rows (cache1, cache2), \
+          got %d"
+         where program (List.length ms))
+
 let table1 ?(n = 64) () =
   let versions =
     [
@@ -54,16 +66,16 @@ let perf_of ?(cls = 4) name (p : Program.t) =
          ~machines:[ Machine.cache1; Machine.cache2 ]
          (D.Source_program { name; program = p }))
   in
-  match r.D.measured with
-  | [ m1; m2 ] ->
-    {
-      name;
-      seconds_orig = m1.D.original_run.Measure.seconds;
-      seconds_final = m1.D.transformed_run.Measure.seconds;
-      speedup = m1.D.speedup;
-      speedup2 = m2.D.speedup;
-    }
-  | _ -> assert false
+  let m1, m2 =
+    two_machine_rows ~where:"Perf.perf_of" ~program:name r.D.measured
+  in
+  {
+    name;
+    seconds_orig = m1.D.original_run.Measure.seconds;
+    seconds_final = m1.D.transformed_run.Measure.seconds;
+    speedup = m1.D.speedup;
+    speedup2 = m2.D.speedup;
+  }
 
 let table3_rows ?(n = 128) ?cls ?jobs () =
   let kernels =
@@ -154,23 +166,24 @@ let table4_rows ?(n = 32) ?cls:_ ?jobs (rows : Table2.row list) =
                       program = r.Table2.original;
                     }))
           in
-          match res.D.measured with
-          | [ m1; m2 ] ->
-            let o1 = m1.D.original_run and f1 = m1.D.transformed_run in
-            let o2 = m2.D.original_run and f2 = m2.D.transformed_run in
-            Some
-              {
-                name = res.D.name;
-                opt1_orig = Measure.hit_rate o1.Measure.optimized;
-                opt1_final = Measure.hit_rate f1.Measure.optimized;
-                opt2_orig = Measure.hit_rate o2.Measure.optimized;
-                opt2_final = Measure.hit_rate f2.Measure.optimized;
-                whole1_orig = Measure.hit_rate o1.Measure.whole;
-                whole1_final = Measure.hit_rate f1.Measure.whole;
-                whole2_orig = Measure.hit_rate o2.Measure.whole;
-                whole2_final = Measure.hit_rate f2.Measure.whole;
-              }
-          | _ -> assert false
+          let m1, m2 =
+            two_machine_rows ~where:"Perf.table4_rows"
+              ~program:r.Table2.entry.S.Programs.name res.D.measured
+          in
+          let o1 = m1.D.original_run and f1 = m1.D.transformed_run in
+          let o2 = m2.D.original_run and f2 = m2.D.transformed_run in
+          Some
+            {
+              name = res.D.name;
+              opt1_orig = Measure.hit_rate o1.Measure.optimized;
+              opt1_final = Measure.hit_rate f1.Measure.optimized;
+              opt2_orig = Measure.hit_rate o2.Measure.optimized;
+              opt2_final = Measure.hit_rate f2.Measure.optimized;
+              whole1_orig = Measure.hit_rate o1.Measure.whole;
+              whole1_final = Measure.hit_rate f1.Measure.whole;
+              whole2_orig = Measure.hit_rate o2.Measure.whole;
+              whole2_final = Measure.hit_rate f2.Measure.whole;
+            }
         end)
       rows
   in

@@ -11,6 +11,12 @@ type perf_row = {
   speedup2 : float;  (** cache2 *)
 }
 
+val two_machine_rows : where:string -> program:string -> 'a list -> 'a * 'a
+(** The driver returns one measured row per requested machine, and the
+    perf tables always request exactly (cache1, cache2). Raises
+    [Invalid_argument] naming [where] and the offending [program] when
+    the row count differs. *)
+
 val table1 : ?n:int -> unit -> string
 (** Erlebacher: hand-coded vs distributed vs fused (Section 4.3.4). *)
 

@@ -1,0 +1,12 @@
+! memoria fuzz reproducer (shrunk)
+! seed=1337 index=9172 oracle=exec
+! compound transform failed: FZ1337_9172: Invalid_argument("Reversal.apply: non-unit step")
+PROGRAM FZ1337_9172
+PARAMETER (N = 2)
+REAL*8 A(N+2, N+2, N+2)
+DO J = 1, N
+  DO K = J, N/2, 2
+    A(J,K,K+2) = A(K+2,3,K)
+  ENDDO
+ENDDO
+END

@@ -1,0 +1,8 @@
+! memoria fuzz reproducer (shrunk)
+! seed=1 index=17 oracle=cgen
+! original: native checksum 1727.04329, interpreter 1741.29329
+PROGRAM FZ1_17
+PARAMETER (N = 2)
+REAL*8 B(N+2, N+2, 8)
+B(1,1,2) = 3.0 / 2.0
+END

@@ -1,0 +1,8 @@
+! memoria fuzz reproducer (shrunk)
+! seed=1 index=42 oracle=cgen
+! original: native checksum 727.145831, interpreter 728.645831
+PROGRAM FZ1_42
+PARAMETER (N = 2)
+REAL*8 B(N+2, 8, N+2)
+B(2,1,1) = 1.0 / 4.0
+END

@@ -1,0 +1,8 @@
+! memoria fuzz reproducer (shrunk)
+! seed=1 index=49 oracle=cgen
+! original: native checksum -281.122823, interpreter -256.872823
+PROGRAM FZ1_49
+PARAMETER (N = 2)
+REAL*8 B(N+2, 8, 8)
+B(1,1,1) = 2.0 / 4.0
+END

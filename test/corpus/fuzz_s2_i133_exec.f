@@ -1,0 +1,13 @@
+! memoria fuzz reproducer (shrunk)
+! seed=2 index=133 oracle=exec
+! array A element 2: 53.248867988586426 vs -25.281257629394531
+PROGRAM FZ2_133
+PARAMETER (N = 3)
+REAL*8 D(N+2, N+2)
+DO I = 1, N
+  D(2,2+1) = 1.0
+  DO J = N, 2, -1
+    D(I,J) = 1.5
+  ENDDO
+ENDDO
+END

@@ -1,0 +1,16 @@
+! memoria fuzz reproducer (shrunk)
+! seed=2 index=81 oracle=exec
+! array A element 794: -0.9319000244140625 vs 3.809967041015625
+PROGRAM FZ2_81
+PARAMETER (N = 4)
+REAL*8 A(N+2, N+2, N+2)
+S = 0.5
+DO I = 1, N-1
+  DO J = 2, 1, -1
+    DO K = 1, 1
+      A(3,2,1) = 1.0
+    ENDDO
+    A(I,J,1) = S
+  ENDDO
+ENDDO
+END

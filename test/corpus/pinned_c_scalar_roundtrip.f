@@ -1,0 +1,15 @@
+! memoria fuzz reproducer (pinned)
+! oracle=roundtrip
+! The lexer used to treat any line whose first column is 'C' as a
+! Fortran comment, swallowing assignments to a scalar named C (both at
+! column 1 and indented). These statements must survive a
+! pretty-print -> parse -> pretty-print round trip.
+PROGRAM PINCSCALAR
+PARAMETER (N = 8)
+REAL*8 A(N+2)
+C = 2.0
+DO I = 1, N
+  C = C + A(I) * 0.5
+  A(I) = C - 0.25
+ENDDO
+END

@@ -1,0 +1,15 @@
+! memoria fuzz reproducer (pinned)
+! oracle=cgen
+! Pretty_c used to hit an assert false on Fmin/Fmax rexprs; they must
+! lower to C fmin()/fmax() calls with a matching native checksum.
+PROGRAM PINMINMAX
+PARAMETER (N = 8)
+REAL*8 A(N+2, N+2)
+REAL*8 B(N+2)
+DO I = 1, N
+  DO J = 1, N
+    A(I,J) = MAX(MIN(A(J,I), B(I)), 0.25) + MIN(A(I,J), 1.5)
+  ENDDO
+  B(I) = MAX(B(I), A(I,I))
+ENDDO
+END

@@ -20,4 +20,5 @@ let () =
       ("runs", Test_runs.suite);
       ("obs", Test_obs.suite);
       ("store", Test_store.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

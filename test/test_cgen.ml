@@ -105,6 +105,45 @@ let test_native_unrolled () =
   | None -> Alcotest.fail "unroll failed"
   | Some block -> check_native "mm_unrolled" (Program.map_body (fun _ -> block) p)
 
+(* Fmin/Fmax used to hit an [assert false] in Pretty_c; they must emit
+   C fmin/fmax calls, and integral float constants must keep a decimal
+   point (plain %.17g prints 4.0 as "4", turning 1.0/4.0 into C integer
+   division — a checksum bug the differential fuzzer caught). *)
+let minmax_program =
+  lazy
+    (Locality_lang.Lower.parse_program
+       "PROGRAM MINMAXC\n\
+        PARAMETER (N = 18)\n\
+        REAL*8 A(N, N)\n\
+        REAL*8 B(N, N)\n\
+        DO I = 1, N\n\
+        DO J = 1, N\n\
+        A(I,J) = MAX(MIN(B(J,I), 2.5), 1.0 / 4.0) + MIN(A(I,J), B(I,J))\n\
+        ENDDO\n\
+        ENDDO\n\
+        END\n")
+
+let test_native_minmax () =
+  let p = Lazy.force minmax_program in
+  let nest = List.hd (Program.top_loops p) in
+  let tiled =
+    match C.Tiling.tile ~sizes:5 nest ~band:[ "I"; "J" ] with
+    | None -> Alcotest.fail "tile failed"
+    | Some tiled -> Program.map_body (fun _ -> [ Loop.Loop tiled ]) p
+  in
+  let c = Pretty_c.program_to_c tiled in
+  checkb "Fmin becomes fmin" true (contains c "fmin(");
+  checkb "Fmax becomes fmax" true (contains c "fmax(");
+  checkb "tiled bounds use imin" true (contains c "imin(");
+  checkb "integral consts keep the point" true (contains c "(1.0 / 4.0)");
+  check_native "minmax_tiled" tiled;
+  match C.Unroll.unroll_and_jam nest ~loop:"I" ~factor:2 with
+  | None -> Alcotest.fail "unroll failed"
+  | Some block ->
+    let unrolled = Program.map_body (fun _ -> block) p in
+    checkb "unrolled equivalent" true (Exec.equivalent p unrolled);
+    check_native "minmax_unrolled" unrolled
+
 let test_native_register_blocked () =
   (* The full step-3 form: stepped main loop, Div remainder bounds,
      scalar temporaries with store-backs. *)
@@ -131,5 +170,6 @@ let suite =
     ("native cholesky checksum", `Quick, test_native_cholesky);
     ("native tiled transpose checksum", `Quick, test_native_tiled_transpose);
     ("native unrolled matmul checksum", `Quick, test_native_unrolled);
+    ("native min/max tiled+unrolled checksum", `Quick, test_native_minmax);
     ("native register-blocked checksum", `Quick, test_native_register_blocked);
   ]

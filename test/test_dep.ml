@@ -908,6 +908,49 @@ let test_coverage_check_not_vacuous () =
       (covered [] ~src:snk ~snk:src ~dist:[ 1; 0 ])
   | _ -> Alcotest.fail "unexpected access shape"
 
+(* Fuzzer-found: a reversed loop's header carries (lb, ub) = (start,
+   end), so for DO J = 2, 1, -1 the value range is [ub, lb]. The
+   sign-hypothesis feasibility check read them as [min, max], proving
+   reversed-loop iterations out of bounds and dropping the output
+   dependences between these two writes — which let distribution
+   separate them and change the final writer of A(3,2,1). *)
+let test_reversed_loop_output_dep () =
+  let p =
+    Locality_lang.Lower.parse_program
+      "PROGRAM p\n\
+       PARAMETER (N = 4)\n\
+       REAL*8 A(N+2, N+2, N+2)\n\
+       S = 0.5\n\
+       DO I = 1, N-1\n\
+      \  DO J = 2, 1, -1\n\
+      \    DO K = 1, 1\n\
+      \      A(3,2,1) = 1.0\n\
+      \    ENDDO\n\
+      \    A(I,J,1) = S\n\
+      \  ENDDO\n\
+       ENDDO\n\
+       END\n"
+  in
+  let nest = List.hd (Program.top_loops p) in
+  let cross =
+    List.filter
+      (fun (d : Dep.t) ->
+        d.Dep.kind = Dep.Output
+        && (not (String.equal d.Dep.src_label d.Dep.snk_label))
+        && String.equal d.Dep.src_ref.Reference.array "A")
+      (An.deps_in_nest nest)
+  in
+  checkb "output dep between the two writes" true (cross <> []);
+  checkb "reported in both directions" true
+    (List.exists
+       (fun (d : Dep.t) ->
+         List.exists
+           (fun (d' : Dep.t) ->
+             String.equal d.Dep.src_label d'.Dep.snk_label
+             && String.equal d.Dep.snk_label d'.Dep.src_label)
+           cross)
+       cross)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -938,6 +981,7 @@ let suite =
     ("prover rectangular facts", `Quick, test_prove_rectangular);
     ("prover triangular facts", `Quick, test_prove_triangular);
     ("prover negative step", `Quick, test_prove_negative_step);
+    ("reversed-loop output dep", `Quick, test_reversed_loop_output_dep);
     ("gmtry refined vectors", `Quick, test_gmtry_refined_vectors);
     ("lattice predicates sound", `Quick, test_lattice_predicates_sound);
     ("meet sound (brute force)", `Quick, test_meet_sound);

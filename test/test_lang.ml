@@ -48,6 +48,30 @@ let test_lex_comments_and_floats () =
   checkb "comment line skipped" false
     (List.exists (function L.Token.IDENT "full" -> true | _ -> false) toks)
 
+(* Fuzzer-found: a scalar named C. "C = ..." is an assignment, not a
+   comment — at column 1 and indented — while "C full line" stays a
+   comment. The whole program must survive pretty -> parse -> pretty. *)
+let test_c_scalar_not_comment () =
+  let src =
+    "PROGRAM p\nPARAMETER (N = 4)\nREAL*8 A(N)\nC = 2.0\nDO I = 1, N\n  C = C + 0.5\n  A(I) = C\nENDDO\nEND\n"
+  in
+  let p1 = L.Lower.parse_program src in
+  checkb "top-level C assignment kept" true
+    (List.exists
+       (function
+         | Loop.Stmt s -> s.Stmt.lhs = Stmt.Scalar_set "C"
+         | Loop.Loop _ -> false)
+       p1.Program.body);
+  let text = Pretty.program_to_string p1 in
+  let p2 = L.Lower.parse_program text in
+  checks "stable round trip" text (Pretty.program_to_string p2);
+  (* A genuine comment line is still skipped. *)
+  let toks = List.map fst (L.Lexer.tokenize "C this is commentary\nC = 1.0\n") in
+  checkb "comment still skipped" false
+    (List.exists (function L.Token.IDENT "commentary" -> true | _ -> false) toks);
+  checkb "assignment lexed" true
+    (List.exists (function L.Token.FLOAT 1.0 -> true | _ -> false) toks)
+
 let test_lex_real_star8 () =
   let toks = List.map fst (L.Lexer.tokenize "REAL*8 A(N)") in
   checkb "REAL*8 collapses" true (List.hd toks = L.Token.KW_REAL)
@@ -56,7 +80,10 @@ let test_lex_error () =
   try
     ignore (L.Lexer.tokenize "A = 1 @ 2");
     Alcotest.fail "expected lexer error"
-  with L.Lexer.Error (_, line) -> checki "error line" 1 line
+  with L.Lexer.Error (msg, loc) ->
+    checki "error line" 1 loc.L.Lexer.line;
+    checki "error column" 7 loc.L.Lexer.col;
+    checks "offending text in message" "unexpected character @" msg
 
 let test_parse_matmul () =
   let ast = L.Parser.parse matmul_src in
@@ -69,7 +96,45 @@ let test_parse_error_location () =
   try
     ignore (L.Parser.parse "PROGRAM p\nDO I = 1\nEND\n");
     Alcotest.fail "expected parse error"
-  with L.Parser.Error (_, line) -> checki "error on line 2" 2 line
+  with L.Parser.Error (msg, loc) ->
+    checki "error on line 2" 2 loc.L.Lexer.line;
+    checki "error at column 9" 9 loc.L.Lexer.col;
+    checkb "message names the found token" true
+      (let sub = "found" in
+       let n = String.length msg and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+       go 0)
+
+(* Lexer/parser locations must survive into the driver's error string:
+   "path:line:col: lexical|syntax error: ...". *)
+let test_driver_error_locations () =
+  let module D = Locality_driver.Driver in
+  let write name contents =
+    let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let lexbad = write "memoria_lexbad.f" "PROGRAM p\nA = 1 @ 2\nEND\n" in
+  (match D.run (D.config ~machines:[] ~store:None (D.Source_file lexbad)) with
+  | Ok _ -> Alcotest.fail "expected a lexical error"
+  | Error msg ->
+    checkb "file, loc and token in message" true
+      (contains msg (lexbad ^ ":2:7: lexical error: unexpected character @")));
+  let parsebad = write "memoria_parsebad.f" "PROGRAM p\nDO I = 1\nEND\n" in
+  (match D.run (D.config ~machines:[] ~store:None (D.Source_file parsebad)) with
+  | Ok _ -> Alcotest.fail "expected a syntax error"
+  | Error msg ->
+    checkb "syntax error carries loc" true
+      (contains msg (parsebad ^ ":2:9: syntax error:")));
+  Sys.remove lexbad;
+  Sys.remove parsebad
 
 let test_lower_matmul () =
   let p = L.Lower.parse_program matmul_src in
@@ -195,6 +260,8 @@ let suite =
     ("lexer comments and floats", `Quick, test_lex_comments_and_floats);
     ("lexer REAL*8", `Quick, test_lex_real_star8);
     ("lexer error reporting", `Quick, test_lex_error);
+    ("C scalar is not a comment", `Quick, test_c_scalar_not_comment);
+    ("driver error locations", `Quick, test_driver_error_locations);
     ("parser matmul", `Quick, test_parse_matmul);
     ("parser error location", `Quick, test_parse_error_location);
     ("lowering matmul", `Quick, test_lower_matmul);

@@ -23,6 +23,32 @@ let rows =
          Option.map (St.Table2.compute_row ~n:8) (S.Programs.find name))
        [ "arc2d"; "hydro2d"; "mdg"; "buk"; "tomcatv" ])
 
+(* A malformed measured-row list (wrong machine count) must raise a
+   typed error naming the caller and the offending program, not trip an
+   anonymous assertion. *)
+let test_two_machine_rows () =
+  let a, b =
+    St.Perf.two_machine_rows ~where:"test" ~program:"synthetic" [ 1; 2 ]
+  in
+  checki "fst" 1 a;
+  checki "snd" 2 b;
+  let raised_with msg f =
+    match f () with
+    | exception Invalid_argument m -> contains m msg
+    | _ -> false
+  in
+  checkb "short list names program" true
+    (raised_with "\"synthetic\"" (fun () ->
+         St.Perf.two_machine_rows ~where:"test" ~program:"synthetic" [ 1 ]));
+  checkb "long list names caller" true
+    (raised_with "Perf.table4_rows" (fun () ->
+         St.Perf.two_machine_rows ~where:"Perf.table4_rows"
+           ~program:"synthetic" [ 1; 2; 3 ]));
+  checkb "reports count" true
+    (raised_with "got 3" (fun () ->
+         St.Perf.two_machine_rows ~where:"test" ~program:"synthetic"
+           [ 1; 2; 3 ]))
+
 (* ---------------------------------------------------------- report --- *)
 
 let test_report_render () =
@@ -233,6 +259,7 @@ let suite =
     ("fig2 measured ranking monotone", `Quick, test_fig2_ranking_monotone);
     ("ablations render", `Quick, test_ablation_smoke);
     ("report render", `Quick, test_report_render);
+    ("two machine rows typed error", `Quick, test_two_machine_rows);
     ("report histogram", `Quick, test_report_histogram);
     ("table2 row consistency", `Quick, test_table2_row_consistency);
     ("table2 loop counting", `Quick, test_table2_loops_counted);
