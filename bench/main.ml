@@ -77,6 +77,92 @@ let tracestats () =
       line "runs" (tally Measure.Runs);
     ]
 
+(* The closed-form analytic model against the simulator, whole-program,
+   on the Table 4 workload: per-program class and miss rates, and an
+   exact-mismatch total CI fails on (an exact claim must be
+   simulator-equal). *)
+let analytic_stats () =
+  let module Analytic = Locality_analytic.Analytic in
+  let module Report = Locality_stats.Report in
+  let rows = Lazy.force table2_rows in
+  let config = Locality_cachesim.Machine.cache1 in
+  let params = [ ("N", 32) ] in
+  let exact = ref 0 and approx = ref 0 and fallback = ref 0 in
+  let mismatches = ref 0 in
+  let reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let rate acc miss =
+    if acc = 0 then 0.0 else 100.0 *. float_of_int miss /. float_of_int acc
+  in
+  let side p =
+    match Analytic.estimate ~params ~config p with
+    | Error reason ->
+      incr fallback;
+      Hashtbl.replace reasons reason
+        (1 + Option.value ~default:0 (Hashtbl.find_opt reasons reason));
+      "fallback      -      -      -"
+    | Ok est ->
+      let sim =
+        Measure.replay ~config (Measure.capture ~mode:Measure.Runs ~params p)
+      in
+      let w = sim.Measure.whole in
+      let sim_rate = rate w.Measure.accesses (w.Measure.accesses - w.Measure.hits) in
+      let a = est.Analytic.e_whole in
+      let ana_rate =
+        rate a.Analytic.c_accesses (a.Analytic.c_accesses - a.Analytic.c_hits)
+      in
+      let cls =
+        if est.Analytic.e_exact then begin
+          incr exact;
+          if
+            w.Measure.accesses <> a.Analytic.c_accesses
+            || w.Measure.hits <> a.Analytic.c_hits
+            || w.Measure.cold <> a.Analytic.c_cold
+            || sim.Measure.ops <> est.Analytic.e_ops
+          then begin
+            incr mismatches;
+            "EXACT-MISMATCH"
+          end
+          else "exact"
+        end
+        else begin
+          incr approx;
+          "approx"
+        end
+      in
+      Printf.sprintf "%-8s %6s %6s %6s" cls
+        (Report.fmt_pct sim_rate) (Report.fmt_pct ana_rate)
+        (Report.fmt_pct (Float.abs (ana_rate -. sim_rate)))
+  in
+  let body =
+    List.filter_map
+      (fun (r : Stats.Table2.row) ->
+        if r.Stats.Table2.nests = 0 then None
+        else
+          Some
+            (Printf.sprintf "%-10s %s   %s"
+               r.Stats.Table2.entry.Locality_suite.Programs.name
+               (side r.Stats.Table2.original)
+               (side r.Stats.Table2.transformed)))
+      rows
+  in
+  String.concat "\n"
+    ([
+       "Analytic model vs simulator (Table 4 workload, N=32, cache1, \
+        whole-program miss rates)";
+       Printf.sprintf "%-10s %-8s %6s %6s %6s   %-8s %6s %6s %6s" "program"
+         "orig" "sim%" "ana%" "err" "trans" "sim%" "ana%" "err";
+     ]
+    @ body
+    @ [
+        Printf.sprintf
+          "analytic classes: exact=%d approx=%d fallback=%d exact-mismatches=%d"
+          !exact !approx !fallback !mismatches;
+      ]
+    @ (Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
+      |> List.sort compare
+      |> List.map (fun (r, n) -> Printf.sprintf "  fallback reason (%2d): %s" n r)
+      ))
+
 let experiments : (string * (unit -> string)) list =
   [
     ("fig2", fun () -> Stats.Figures.fig2 ());
@@ -100,6 +186,7 @@ let experiments : (string * (unit -> string)) list =
     ("ablation-step3", fun () -> Stats.Ablation.step3 ());
     ("ablation-tilesize", fun () -> Stats.Ablation.tilesize ());
     ("tracestats", tracestats);
+    ("analytic", analytic_stats);
   ]
 
 (* ------------------------------------------------- native kernels ---- *)

@@ -327,12 +327,14 @@ let sim_cmd =
         let before = m.Driver.original_run
         and after = m.Driver.transformed_run in
         Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
-        Printf.printf "original:    %8.4f modelled s, %6.2f%% hits\n"
+        Printf.printf "original:    %8.4f modelled s, %6s%% hits\n"
           before.Interp.Measure.seconds
-          (Interp.Measure.hit_rate before.Interp.Measure.whole);
-        Printf.printf "transformed: %8.4f modelled s, %6.2f%% hits\n"
+          (Stats.Report.fmt_pct
+             (Interp.Measure.hit_rate before.Interp.Measure.whole));
+        Printf.printf "transformed: %8.4f modelled s, %6s%% hits\n"
           after.Interp.Measure.seconds
-          (Interp.Measure.hit_rate after.Interp.Measure.whole);
+          (Stats.Report.fmt_pct
+             (Interp.Measure.hit_rate after.Interp.Measure.whole));
         Printf.printf "speedup: %.2fx\n" m.Driver.speedup)
   in
   Cmd.v
@@ -343,12 +345,19 @@ let sim_cmd =
       $ trace_arg $ profile_arg)
 
 let explain_cmd =
-  let run file kernel cls n json interference_limit =
+  let run file kernel cls n json interference_limit compare cache =
     let src = or_die (source_of ~kernel ~file) in
     let name, p = or_die (Driver.load ?n src) in
-    let ex = Stats.Explain.run ~cls ?interference_limit ~name p in
-    if json then print_string (Stats.Explain.to_json ex)
-    else print_string (Stats.Explain.render ex)
+    if compare then begin
+      let c = Stats.Compare.run ~config:cache ~name p in
+      if json then print_string (Stats.Compare.to_json c)
+      else print_string (Stats.Compare.render c)
+    end
+    else begin
+      let ex = Stats.Explain.run ~cls ?interference_limit ~name p in
+      if json then print_string (Stats.Explain.to_json ex)
+      else print_string (Stats.Explain.render ex)
+    end
   in
   let json_arg =
     Arg.(
@@ -362,15 +371,27 @@ let explain_cmd =
       & info [ "interference-limit" ] ~docv:"ARRAYS"
           ~doc:"Forwarded to the cross-nest fusion pass, as in $(b,opt).")
   in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Instead of the optimizer's decision log, print the closed-form \
+             analytic locality model next to the trace-replay simulator: \
+             per-nest miss rates from both, with the absolute error and the \
+             formula the model used. Honours $(b,--json) and $(b,--cache).")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Run the compound optimizer and report, per nest, what it did and \
           why: the chosen action, the LoopCost evidence, and the legality \
-          and profitability notes of every candidate it weighed.")
+          and profitability notes of every candidate it weighed. With \
+          $(b,--compare), validate the analytic locality model against the \
+          simulator instead.")
     Term.(
       const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ json_arg
-      $ interference_arg)
+      $ interference_arg $ compare_arg $ cache_arg)
 
 let unroll_cmd =
   let run file kernel n loop factor replace =
@@ -670,7 +691,8 @@ let fuzz_cmd =
             "Comma-separated oracles to run: $(b,exec) (transform \
              semantics under the interpreter), $(b,replay) (v1 vs v2 \
              trace replay), $(b,roundtrip) (pretty-print/reparse), \
-             $(b,cgen) (native C checksum). Default: all.")
+             $(b,cgen) (native C checksum), $(b,analytic) (closed-form \
+             locality model vs the simulator). Default: all.")
   in
   let corpus_arg =
     Arg.(
@@ -714,10 +736,14 @@ let main =
                 output is identical at any value).";
            Cmd.Env.info "MEMORIA_REPLAY"
              ~doc:
-               "Trace format for capture/replay: $(b,per-access) forces the \
-                flat v1 record stream; any other value (or unset) uses the \
-                run-compressed v2 format, which is several times faster and \
-                produces bit-identical statistics.";
+               "Measurement backend: $(b,per-access) forces the flat v1 \
+                record stream; $(b,analytic) skips tracing and asks the \
+                closed-form locality model (simulator-equal on programs it \
+                certifies exact, sound estimates elsewhere, automatic \
+                fallback to simulation when out of scope); any other value \
+                (or unset) uses the run-compressed v2 trace format, which \
+                is several times faster than v1 and produces bit-identical \
+                statistics.";
            Cmd.Env.info "MEMORIA_STORE"
              ~doc:
                "Directory of the content-addressed experiment store. When \

@@ -1,0 +1,934 @@
+module Cache = Locality_cachesim.Cache
+module Layout = Locality_cachesim.Layout
+module Obs = Locality_obs.Obs
+module Loopcost = Locality_core.Loopcost
+
+type counts = {
+  c_accesses : int;
+  c_hits : int;
+  c_cold : int;
+}
+
+type bracket = { lo : int; hi : int }
+
+let iv lo hi = { lo; hi }
+let exact_iv v = iv v v
+let iv_zero = exact_iv 0
+let iv_add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let in_bracket v b = b.lo <= v && v <= b.hi
+let clamp v b = max b.lo (min b.hi v)
+
+type cls = Exact | Approx
+
+type unit_report = {
+  u_name : string;
+  u_class : cls;
+  u_formula : string;
+  u_accesses : int;
+  u_misses : int;
+}
+
+type estimate = {
+  e_whole : counts;
+  e_optimized : counts;
+  e_ops : int;
+  e_exact : bool;
+  b_accesses : bracket;
+  b_hits : bracket;
+  b_cold : bracket;
+  b_opt_accesses : bracket;
+  b_opt_hits : bracket;
+  b_opt_cold : bracket;
+  b_ops : bracket;
+  e_units : unit_report list;
+}
+
+(* A program-level "out of scope" verdict; callers replay the trace. *)
+exception Bail of string
+
+(* ------------------------------------------- integer interval sets --- *)
+
+(* Cache-line footprints as sorted disjoint inclusive intervals. All
+   operations are linear in the number of intervals, which is bounded
+   by the number of array references — never by trip counts. *)
+module Iset = struct
+  type t = (int * int) list
+
+  let norm ivs =
+    let s = List.sort (fun (a, _) (b, _) -> compare a b) ivs in
+    let rec go = function
+      | (a, b) :: (c, d) :: rest when c <= b + 1 -> go ((a, max b d) :: rest)
+      | x :: rest -> x :: go rest
+      | [] -> []
+    in
+    go s
+
+  let union a b = norm (a @ b)
+  let card t = List.fold_left (fun acc (a, b) -> acc + b - a + 1) 0 t
+
+  (* [diff a b] = lines of [a] not in [b]; both normalized. *)
+  let rec diff a b =
+    match (a, b) with
+    | [], _ -> []
+    | a, [] -> a
+    | (a1, a2) :: ar, (b1, b2) :: br ->
+      if b2 < a1 then diff a br
+      else if a2 < b1 then (a1, a2) :: diff ar b
+      else
+        let left = if a1 < b1 then [ (a1, b1 - 1) ] else [] in
+        if a2 > b2 then left @ diff ((b2 + 1, a2) :: ar) br
+        else left @ diff ar b
+end
+
+(* ------------------------------------------- Faulhaber summation ---- *)
+
+(* Symbolic power sums: [faulhaber cache k] is the polynomial F_k in
+   the fresh variable $m with F_k(m) = sum_{x=0}^{m} x^k, from the
+   telescoping identity sum_{j<=k} C(k+1,j) F_j(m) = (m+1)^{k+1}.
+   F_k(-1) = 0, so F_k(hi) - F_k(lo-1) sums any range with
+   hi >= lo - 1, including empty ones. The cache is per analysis run
+   (the stats tables analyze programs from several domains at once,
+   so there is no global mutable table). *)
+let mvar = "$m"
+
+let binom n r =
+  let r = min r (n - r) in
+  if r < 0 then 0
+  else
+    let rec go acc k =
+      if k > r then acc else go (acc * (n - r + k) / k) (k + 1)
+    in
+    go 1 1
+
+let rec faulhaber cache k =
+  match Hashtbl.find_opt cache k with
+  | Some p -> p
+  | None ->
+    let m1 = Poly.add (Poly.var mvar) Poly.one in
+    let rec pow b n = if n = 0 then Poly.one else Poly.mul b (pow b (n - 1)) in
+    let subtrahend =
+      List.init k (fun j ->
+          Poly.mul_rat (Rat.of_int (binom (k + 1) j)) (faulhaber cache j))
+      |> List.fold_left Poly.add Poly.zero
+    in
+    let p =
+      Poly.div_rat (Poly.sub (pow m1 (k + 1)) subtrahend) (Rat.of_int (k + 1))
+    in
+    Hashtbl.replace cache k p;
+    p
+
+(* sum_{x=lo}^{hi} p, with [p] polynomial in [x] and [lo]/[hi]
+   polynomials free of [x]. Exact whenever hi >= lo - 1. *)
+let sum_poly cache p x ~lo ~hi =
+  Poly.coeffs_in p x
+  |> List.mapi (fun k ck ->
+         let fk = faulhaber cache k in
+         let at q = Poly.subst fk mvar q in
+         Poly.mul ck (Poly.sub (at hi) (at (Poly.sub lo Poly.one))))
+  |> List.fold_left Poly.add Poly.zero
+
+(* ------------------------------------------- loop-level intervals --- *)
+
+(* Everything the analysis knows about one enclosing loop: a sound
+   interval for the values its index takes, sound trip-count bounds,
+   the numeric bounds when they are parameter-only, the bounds as
+   polynomials over outer indices, and whether exact symbolic
+   summation over this level is certified (|step| = 1 and a trip
+   count that provably never goes negative over the enclosing box,
+   which is what the telescoping Faulhaber formula requires). *)
+type ii = {
+  ih : Loop.header;
+  ilo : int;  (** sound bounds on the values the index takes ... *)
+  ihi : int;  (** ... whenever the loop body runs at all *)
+  tmin : int;
+  tmax : int;
+  num : (int * int) option;  (** (lb, ub) when parameter-only *)
+  lbp : Poly.t;
+  ubp : Poly.t;
+  sum_ok : bool;
+}
+
+let affine_interval ~param_opt ~lookup a =
+  let lo = ref (Affine.const a) and hi = ref (Affine.const a) in
+  List.iter
+    (fun v ->
+      let c = Affine.coeff a v in
+      match param_opt v with
+      | Some pv ->
+        lo := !lo + (c * pv);
+        hi := !hi + (c * pv)
+      | None -> (
+        match lookup v with
+        | Some i ->
+          if c >= 0 then begin
+            lo := !lo + (c * i.ilo);
+            hi := !hi + (c * i.ihi)
+          end
+          else begin
+            lo := !lo + (c * i.ihi);
+            hi := !hi + (c * i.ilo)
+          end
+        | None ->
+          raise (Bail (Printf.sprintf "unbound variable %s in bound" v))))
+    (Affine.vars a);
+  (!lo, !hi)
+
+(* The affine form as a polynomial over loop indices only: parameters
+   are resolved to their numeric values so later evaluation is exact. *)
+let affine_poly ~param_opt a =
+  List.fold_left
+    (fun acc v ->
+      let c = Affine.coeff a v in
+      match param_opt v with
+      | Some pv -> Poly.add acc (Poly.int (c * pv))
+      | None -> Poly.add acc (Poly.mul_rat (Rat.of_int c) (Poly.var v)))
+    (Poly.int (Affine.const a))
+    (Affine.vars a)
+
+let eval_numeric ~param_opt e =
+  try
+    Some
+      (Expr.eval e (fun x ->
+           match param_opt x with Some v -> v | None -> raise Not_found))
+  with Not_found -> None
+
+(* A certified lower bound of an affine form over the iteration box: the
+   minimum of an affine function over an interval sits at an endpoint,
+   so eliminate indices innermost-out by substituting both bounds and
+   taking the smaller result. Exact rational arithmetic throughout —
+   no dominant-term guessing, sound at any parameter value. *)
+let rec affine_min ~param_opt ~lookup fuel p =
+  if fuel = 0 then None
+  else
+    match
+      List.find_opt (fun v -> param_opt v = None) (Poly.vars p)
+    with
+    | None -> (
+      try
+        Some
+          (Poly.eval_rat p (fun x ->
+               match param_opt x with
+               | Some v -> Rat.of_int v
+               | None -> raise Not_found))
+      with Not_found -> None)
+    | Some x -> (
+      match lookup x with
+      | None -> None
+      | Some i -> (
+        let at q = affine_min ~param_opt ~lookup (fuel - 1) (Poly.subst p x q) in
+        match (at i.lbp, at i.ubp) with
+        | Some a, Some b -> Some (if Rat.compare a b <= 0 then a else b)
+        | _ -> None))
+
+let make_ii ~param_opt ~lookup (h : Loop.header) =
+  let step = h.Loop.step in
+  if step = 0 then raise (Bail "zero loop step");
+  match (eval_numeric ~param_opt h.Loop.lb, eval_numeric ~param_opt h.Loop.ub)
+  with
+  | Some lb, Some ub ->
+    let trip =
+      if step > 0 then if lb > ub then 0 else ((ub - lb) / step) + 1
+      else if lb < ub then 0
+      else ((lb - ub) / -step) + 1
+    in
+    let last = lb + (step * (trip - 1)) in
+    let ilo, ihi = if trip = 0 then (lb, lb) else (min lb last, max lb last) in
+    {
+      ih = h;
+      ilo;
+      ihi;
+      tmin = trip;
+      tmax = trip;
+      num = Some (lb, ub);
+      lbp = Poly.int lb;
+      ubp = Poly.int ub;
+      sum_ok = true;
+    }
+  | _ ->
+    (* Sound value interval of a bound: affine forms directly, MIN/MAX
+       (tiled and clamped loops), products (quadratic bounds) and the
+       other arithmetic nodes by interval composition, truncating
+       division by a constant by monotonicity. Anything else is out of
+       scope. *)
+    let rec bival e =
+      match Affine.of_expr e with
+      | Some a -> affine_interval ~param_opt ~lookup a
+      | None -> (
+        match e with
+        | Expr.Min (a, b) ->
+          let l1, h1 = bival a and l2, h2 = bival b in
+          (min l1 l2, min h1 h2)
+        | Expr.Max (a, b) ->
+          let l1, h1 = bival a and l2, h2 = bival b in
+          (max l1 l2, max h1 h2)
+        | Expr.Add (a, b) ->
+          let l1, h1 = bival a and l2, h2 = bival b in
+          (l1 + l2, h1 + h2)
+        | Expr.Sub (a, b) ->
+          let l1, h1 = bival a and l2, h2 = bival b in
+          (l1 - h2, h1 - l2)
+        | Expr.Neg a ->
+          let l, h = bival a in
+          (-h, -l)
+        | Expr.Mul (a, b) ->
+          let l1, h1 = bival a and l2, h2 = bival b in
+          let p1 = l1 * l2 and p2 = l1 * h2 and p3 = h1 * l2
+          and p4 = h1 * h2 in
+          (min (min p1 p2) (min p3 p4), max (max p1 p2) (max p3 p4))
+        | Expr.Div (a, d) -> (
+          match eval_numeric ~param_opt d with
+          | Some dv when dv <> 0 ->
+            let l, h = bival a in
+            if dv > 0 then (l / dv, h / dv) else (h / dv, l / dv)
+          | _ -> raise (Bail "non-affine symbolic loop bound"))
+        | _ -> raise (Bail "non-affine symbolic loop bound"))
+    in
+    let lblo, lbhi = bival h.Loop.lb in
+    let ublo, ubhi = bival h.Loop.ub in
+    let tmin, tmax, ilo, ihi =
+      if step > 0 then
+        ( (if ublo < lbhi then 0 else ((ublo - lbhi) / step) + 1),
+          (if ubhi < lblo then 0 else ((ubhi - lblo) / step) + 1),
+          lblo,
+          ubhi )
+      else
+        ( (if lblo < ubhi then 0 else ((lblo - ubhi) / -step) + 1),
+          (if lbhi < ublo then 0 else ((lbhi - ublo) / -step) + 1),
+          ublo,
+          lbhi )
+    in
+    let lbp, ubp, sum_ok =
+      match (Affine.of_expr h.Loop.lb, Affine.of_expr h.Loop.ub) with
+      | Some alb, Some aub ->
+        let lbp = affine_poly ~param_opt alb
+        and ubp = affine_poly ~param_opt aub in
+        let sum_ok =
+          (step = 1 && ublo >= lbhi - 1)
+          || (step = -1 && lblo >= ubhi - 1)
+          || (abs step = 1
+             (* interval reasoning loses correlations like I >= K+1;
+                the affine minimum of the trip count over the box
+                recovers them (triangular nests) *)
+             &&
+             let tripp =
+               if step = 1 then Poly.add (Poly.sub ubp lbp) Poly.one
+               else Poly.add (Poly.sub lbp ubp) Poly.one
+             in
+             match affine_min ~param_opt ~lookup 12 tripp with
+             | Some r -> Rat.sign r >= 0
+             | None -> false)
+        in
+        (lbp, ubp, sum_ok)
+      | _ ->
+        (* MIN/MAX bound: constant interval endpoints are still sound
+           pointwise bounds for use in [affine_min]; no certified
+           summation over this level. *)
+        (Poly.int ilo, Poly.int ihi, false)
+    in
+    { ih = h; ilo; ihi; tmin; tmax; num = None; lbp; ubp; sum_ok }
+
+(* --------------------------------------------- iteration counting --- *)
+
+let max_sum_degree = 12
+
+(* Exact iteration count of a statement under its enclosing headers
+   (outermost first), or [None] when no closed form is certified.
+   Rectangular parameter-only levels contribute a product (after a
+   change of variable when inner bounds mention the index); certified
+   symbolic levels are summed with Faulhaber polynomials. O(depth)
+   polynomial operations, never O(iterations). *)
+let exact_iters fcache iis =
+  if
+    not
+      (List.for_all (fun i -> i.num <> None || i.sum_ok) iis)
+  then None
+  else
+    try
+      let count =
+        List.fold_left
+          (fun count i ->
+            if Poly.degree count > max_sum_degree then raise Exit;
+            let x = i.ih.Loop.index in
+            match i.num with
+            | Some (lb, _) ->
+              if not (List.mem x (Poly.vars count)) then
+                Poly.mul count (Poly.int i.tmax)
+              else begin
+                (* x = lb + step*t, t = 0 .. trip-1 *)
+                let tv = "$t" in
+                let count =
+                  Poly.subst count x
+                    (Poly.add (Poly.int lb)
+                       (Poly.mul_rat
+                          (Rat.of_int i.ih.Loop.step)
+                          (Poly.var tv)))
+                in
+                sum_poly fcache count tv ~lo:Poly.zero
+                  ~hi:(Poly.int (i.tmax - 1))
+              end
+            | None ->
+              let lo, hi =
+                if i.ih.Loop.step = 1 then (i.lbp, i.ubp) else (i.ubp, i.lbp)
+              in
+              sum_poly fcache count x ~lo ~hi)
+          Poly.one (List.rev iis)
+      in
+      match Poly.is_const count with
+      | Some r when Rat.is_integer r && Rat.sign r >= 0 -> Some (Rat.to_int r)
+      | _ -> None
+    with Exit -> None
+
+(* ------------------------------------------------ array metadata ---- *)
+
+type ameta = {
+  am_extents : int array;
+  am_colstride : int array;  (** element stride per dimension *)
+  am_base : int;
+  am_elem : int;
+  am_lines : Iset.t;  (** every line of the array: the sound superset *)
+}
+
+let array_meta ~param ~layout ~line_bytes (d : Decl.t) =
+  let extents =
+    Array.of_list (List.map (fun e -> Expr.eval e param) d.Decl.extents)
+  in
+  let n = Array.length extents in
+  let colstride = Array.make n 1 in
+  for k = 1 to n - 1 do
+    colstride.(k) <- colstride.(k - 1) * extents.(k - 1)
+  done;
+  let base = Layout.address layout d.Decl.name (Array.make n 1) in
+  let elem = Layout.elem_size layout d.Decl.name in
+  let total = Layout.size_elements layout d.Decl.name * elem in
+  {
+    am_extents = extents;
+    am_colstride = colstride;
+    am_base = base;
+    am_elem = elem;
+    am_lines = [ (base / line_bytes, (base + total - 1) / line_bytes) ];
+  }
+
+(* ------------------------------------------------ footprints -------- *)
+
+(* One dimension of a reference, resolved against the enclosing loops:
+   either a fixed value, an arithmetic progression driven by exactly
+   one parameter-only rectangular loop, a sound value interval, or
+   unknown (non-affine / unbound). *)
+type dim_view =
+  | Dpoint of int
+  | Dprog of { first : int; stride : int; n : int; vlo : int; vhi : int }
+  | Dbox of int * int
+  | Dunknown
+
+let dim_view ~param_opt ~lookup e =
+  match eval_numeric ~param_opt e with
+  | Some v -> Dpoint v
+  | None -> (
+    match Affine.of_expr e with
+    | None -> Dunknown
+    | Some a -> (
+      let idxs =
+        List.filter (fun v -> param_opt v = None) (Affine.vars a)
+      in
+      let c0 =
+        List.fold_left
+          (fun acc v ->
+            match param_opt v with
+            | Some pv -> acc + (Affine.coeff a v * pv)
+            | None -> acc)
+          (Affine.const a) (Affine.vars a)
+      in
+      match idxs with
+      | [ x ] -> (
+        match lookup x with
+        | Some i when i.num <> None && i.tmax >= 1 ->
+          let c = Affine.coeff a x in
+          let first = c0 + (c * (fst (Option.get i.num))) in
+          let stride = abs (c * i.ih.Loop.step) in
+          let last = first + ((i.tmax - 1) * c * i.ih.Loop.step) in
+          Dprog
+            {
+              first;
+              stride;
+              n = (if stride = 0 then 1 else i.tmax);
+              vlo = min first last;
+              vhi = max first last;
+            }
+        | Some i ->
+          let c = Affine.coeff a x in
+          if c >= 0 then Dbox (c0 + (c * i.ilo), c0 + (c * i.ihi))
+          else Dbox (c0 + (c * i.ihi), c0 + (c * i.ilo))
+        | None -> Dunknown)
+      | [] -> Dpoint c0
+      | _ -> (
+        (* several indices in one subscript: box only *)
+        try
+          let lo, hi = affine_interval ~param_opt ~lookup a in
+          Dbox (lo, hi)
+        with Bail _ -> Dunknown)))
+
+(* Touched cache lines of one reference: [(exact, intervals)] with
+   [intervals] always a superset of the truth and [exact] claiming
+   equality. Exactness needs separable in-bounds progressions over
+   always-executing loops and a footprint that is dense at line
+   granularity (largest gap between touched bytes <= line size). *)
+let ref_lines ~param_opt ~lookup ~meta ~line_bytes ~always (r : Reference.t) =
+  let m =
+    match Hashtbl.find_opt meta r.Reference.array with
+    | Some m -> m
+    | None -> raise (Bail ("undeclared array " ^ r.Reference.array))
+  in
+  let dims = List.map (dim_view ~param_opt ~lookup) r.Reference.subs in
+  if List.exists (fun d -> d = Dunknown) dims then (false, m.am_lines)
+  else if List.length dims <> Array.length m.am_extents then
+    raise (Bail ("rank mismatch for " ^ r.Reference.array))
+  else begin
+    let bounds =
+      List.map
+        (function
+          | Dpoint v -> (v, v)
+          | Dprog p -> (p.vlo, p.vhi)
+          | Dbox (lo, hi) -> (lo, hi)
+          | Dunknown -> assert false)
+        dims
+    in
+    let in_bounds =
+      List.for_all2
+        (fun (lo, hi) ext -> lo >= 1 && hi <= ext)
+        bounds
+        (Array.to_list m.am_extents)
+    in
+    if not in_bounds then (false, m.am_lines)
+    else begin
+      let off lohi =
+        m.am_base
+        + m.am_elem
+          * List.fold_left ( + ) 0
+              (List.mapi
+                 (fun k (lo, hi) ->
+                   (if lohi then hi - 1 else lo - 1) * m.am_colstride.(k))
+                 bounds)
+      in
+      let bmin = off false and bmax = off true in
+      let super = [ (bmin / line_bytes, bmax / line_bytes) ] in
+      (* exact: every dim a point or a single-index progression, no
+         index used twice, all over always-executing loops *)
+      let used = Hashtbl.create 4 in
+      let separable =
+        always
+        && List.for_all2
+             (fun d sub ->
+               match d with
+               | Dpoint _ -> true
+               | Dprog _ -> (
+                 match
+                   List.filter
+                     (fun v -> param_opt v = None)
+                     (Expr.vars sub)
+                 with
+                 | [ x ] ->
+                   if Hashtbl.mem used x then false
+                   else begin
+                     Hashtbl.add used x ();
+                     true
+                   end
+                 | _ -> false)
+               | Dbox _ | Dunknown -> false)
+             dims r.Reference.subs
+      in
+      if not separable then (false, super)
+      else begin
+        (* dense-at-line-granularity check over the byte progressions;
+           byte stride = value stride * column stride * element size *)
+        let effs =
+          List.concat
+            (List.mapi
+               (fun k d ->
+                 match d with
+                 | Dprog p when p.n > 1 && p.stride > 0 ->
+                   [ (p.n, p.stride * m.am_colstride.(k) * m.am_elem) ]
+                 | _ -> [])
+               dims)
+          |> List.sort (fun (_, t1) (_, t2) -> compare t1 t2)
+        in
+        let _, gap =
+          List.fold_left
+            (fun (span, gap) (n, t) ->
+              let gap = if t > span then max gap (t - span) else gap in
+              (span + ((n - 1) * t), gap))
+            (0, 0) effs
+        in
+        if gap <= line_bytes then (true, super) else (false, super)
+      end
+    end
+  end
+
+(* -------------------------------------------------- statement ops --- *)
+
+let rec count_ops = function
+  | Stmt.Unop (_, a) -> 1 + count_ops a
+  | Stmt.Binop (_, a, b) -> 1 + count_ops a + count_ops b
+  | Stmt.Const _ | Stmt.Scalar _ | Stmt.Iexpr _ | Stmt.Load _ -> 0
+
+(* ------------------------------------------------ unit analysis ----- *)
+
+type uacc = {
+  ua_name : string;
+  ua_straightline : bool;
+  ua_exact : bool;  (** iterations and footprint both exact *)
+  ua_acc : bracket;
+  ua_ops : bracket;
+  ua_racc : bracket;  (** accesses from marked statements *)
+  ua_lines : Iset.t option;  (** exact touched lines, when certified *)
+  ua_super : Iset.t;  (** always a superset of touched lines *)
+  ua_mark : [ `All | `None | `Mixed ];
+  ua_est_acc : int;
+  ua_est_ops : int;
+  ua_est_racc : int;
+  ua_nest : Loop.t option;
+}
+
+let analyze_unit ~param_opt ~meta ~line_bytes ~marked fcache node =
+  let stmts =
+    match node with
+    | Loop.Stmt s -> [ (s, []) ]
+    | Loop.Loop l ->
+      let rec walk iis (l : Loop.t) =
+        let lookup x =
+          List.find_opt (fun i -> String.equal i.ih.Loop.index x) iis
+        in
+        let i = make_ii ~param_opt ~lookup l.Loop.header in
+        let iis = iis @ [ i ] in
+        List.concat_map
+          (function
+            | Loop.Stmt s -> [ (s, iis) ]
+            | Loop.Loop inner -> walk iis inner)
+          l.Loop.body
+      in
+      walk [] l
+  in
+  let acc = ref iv_zero and ops = ref iv_zero and racc = ref iv_zero in
+  let est_acc = ref 0 and est_ops = ref 0 and est_racc = ref 0 in
+  let all_iters_exact = ref true in
+  let all_lines_exact = ref true in
+  let exact_ivals = ref [] and super_ivals = ref [] in
+  let n_marked = ref 0 and n_unmarked = ref 0 in
+  List.iter
+    (fun ((s : Stmt.t), iis) ->
+      let acc_per =
+        List.length (Stmt.reads s) + List.length (Stmt.writes s)
+      in
+      let ops_per = count_ops s.Stmt.rhs in
+      let tmax_prod =
+        List.fold_left (fun p i -> p * i.tmax) 1 iis
+      in
+      let tmin_prod =
+        List.fold_left (fun p i -> p * i.tmin) 1 iis
+      in
+      let iters =
+        if tmax_prod = 0 then Some 0 else exact_iters fcache iis
+      in
+      let it_iv, it_est =
+        match iters with
+        | Some v -> (exact_iv v, v)
+        | None ->
+          all_iters_exact := false;
+          (iv tmin_prod tmax_prod, tmax_prod)
+      in
+      let is_marked = acc_per > 0 && Hashtbl.mem marked s.Stmt.label in
+      if acc_per > 0 then
+        if is_marked then incr n_marked else incr n_unmarked;
+      let scale per = iv (it_iv.lo * per) (it_iv.hi * per) in
+      acc := iv_add !acc (scale acc_per);
+      ops := iv_add !ops (scale ops_per);
+      est_acc := !est_acc + (it_est * acc_per);
+      est_ops := !est_ops + (it_est * ops_per);
+      if is_marked then begin
+        racc := iv_add !racc (scale acc_per);
+        est_racc := !est_racc + (it_est * acc_per)
+      end;
+      (* footprint: skipped entirely when the statement never runs *)
+      if it_iv.hi > 0 then begin
+        let lookup x =
+          List.find_opt (fun i -> String.equal i.ih.Loop.index x) iis
+        in
+        let always = List.for_all (fun i -> i.tmin >= 1) iis in
+        List.iter
+          (fun (r, _) ->
+            let exact, lines =
+              ref_lines ~param_opt ~lookup ~meta ~line_bytes ~always r
+            in
+            super_ivals := lines @ !super_ivals;
+            if exact then exact_ivals := lines @ !exact_ivals
+            else all_lines_exact := false)
+          (Stmt.refs s)
+      end)
+    stmts;
+  let super = Iset.norm !super_ivals in
+  let lines =
+    if !all_lines_exact && !all_iters_exact then Some (Iset.norm !exact_ivals)
+    else None
+  in
+  {
+    ua_name =
+      (match node with
+      | Loop.Loop l -> l.Loop.header.Loop.index
+      | Loop.Stmt s -> s.Stmt.label);
+    ua_straightline = (match node with Loop.Stmt _ -> true | _ -> false);
+    ua_exact = !all_iters_exact && lines <> None;
+    ua_acc = !acc;
+    ua_ops = !ops;
+    ua_racc = !racc;
+    ua_lines = lines;
+    ua_super = super;
+    ua_mark =
+      (if !n_marked = 0 then `None
+       else if !n_unmarked = 0 then `All
+       else `Mixed);
+    ua_est_acc = !est_acc;
+    ua_est_ops = !est_ops;
+    ua_est_racc = !est_racc;
+    ua_nest = (match node with Loop.Loop l -> Some l | _ -> None);
+  }
+
+(* -------------------------------------------- no-eviction certificate *)
+
+(* If no cache set is ever asked to hold more distinct lines than its
+   associativity, LRU never evicts, so every non-first touch of a line
+   hits and misses = cold misses exactly. [lines] must cover every
+   line the program can touch (the union of all units' supersets). *)
+let no_eviction ~(config : Cache.config) lines =
+  let sets = config.Cache.size_bytes / (config.Cache.line_bytes * config.Cache.assoc) in
+  let occ = Array.make sets 0 in
+  let base = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      let len = b - a + 1 in
+      base := !base + (len / sets);
+      let r = len mod sets in
+      if r > 0 then
+        let st = a mod sets in
+        for k = 0 to r - 1 do
+          let i = (st + k) mod sets in
+          occ.(i) <- occ.(i) + 1
+        done)
+    lines;
+  Array.for_all (fun c -> c + !base <= config.Cache.assoc) occ
+
+(* ------------------------------------------------ the cost model ---- *)
+
+(* Estimated lines touched by a nest, from the paper's LoopCost model
+   with the current innermost loop as candidate — the "group-linetouch"
+   estimate used when the footprint does not certify. *)
+let linetouch_estimate ~param ~cls nest =
+  try
+    let indices = Loop.indices nest in
+    let inner = List.nth indices (List.length indices - 1) in
+    let cost = Loopcost.loop_cost ~nest ~cls inner in
+    Some
+      (int_of_float
+         (Float.round (Poly.eval cost (fun x -> float_of_int (param x)))))
+  with _ -> None
+
+(* ------------------------------------------------ whole program ----- *)
+
+let estimate ?(params = []) ?(optimized_labels = [])
+    ~(config : Cache.config) (p : Program.t) =
+  try
+    if not (Cache.config_valid config) then raise (Bail "invalid cache config");
+    let line_bytes = config.Cache.line_bytes in
+    if line_bytes > 128 then
+      raise (Bail "line size exceeds array alignment");
+    let resolved =
+      List.map
+        (fun (x, d) ->
+          match List.assoc_opt x params with
+          | Some v -> (x, v)
+          | None -> (x, d))
+        p.Program.params
+    in
+    let param_opt x = List.assoc_opt x resolved in
+    let param x =
+      match param_opt x with
+      | Some v -> v
+      | None -> raise (Bail ("unbound parameter " ^ x))
+    in
+    let layout = Layout.build ~param p.Program.decls in
+    let meta = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Decl.t) ->
+        Hashtbl.replace meta d.Decl.name
+          (array_meta ~param ~layout ~line_bytes d))
+      p.Program.decls;
+    let marked = Hashtbl.create 8 in
+    List.iter (fun l -> Hashtbl.replace marked l ()) optimized_labels;
+    let fcache = Hashtbl.create 8 in
+    let units =
+      List.map
+        (analyze_unit ~param_opt ~meta ~line_bytes ~marked fcache)
+        p.Program.body
+    in
+    let global_super =
+      List.fold_left (fun acc u -> Iset.union acc u.ua_super) [] units
+    in
+    let noevict = no_eviction ~config global_super in
+    (* Sequential first-touch accounting across units. *)
+    let known = ref [] and maybe = ref [] in
+    let b_acc = ref iv_zero
+    and b_hits = ref iv_zero
+    and b_cold = ref iv_zero
+    and b_racc = ref iv_zero
+    and b_rhits = ref iv_zero
+    and b_rcold = ref iv_zero
+    and b_ops = ref iv_zero in
+    let t_acc = ref 0
+    and t_hits = ref 0
+    and t_cold = ref 0
+    and t_racc = ref 0
+    and t_rhits = ref 0
+    and t_rcold = ref 0
+    and t_ops = ref 0 in
+    let reports = ref [] in
+    let all_exact = ref true in
+    List.iter
+      (fun u ->
+        let cold =
+          match u.ua_lines with
+          | Some ls ->
+            let hi = Iset.card (Iset.diff ls !known) in
+            let lo = Iset.card (Iset.diff ls (Iset.union !known !maybe)) in
+            iv lo hi
+          | None ->
+            let hi =
+              min u.ua_acc.hi (Iset.card (Iset.diff u.ua_super !known))
+            in
+            iv 0 hi
+        in
+        let miss =
+          if noevict then cold else iv cold.lo u.ua_acc.hi
+        in
+        let hits =
+          iv (max 0 (u.ua_acc.lo - miss.hi)) (max 0 (u.ua_acc.hi - miss.lo))
+        in
+        (* estimates, clamped into the sound brackets *)
+        let est_cold = clamp cold.hi cold in
+        let est_miss =
+          if noevict then est_cold
+          else
+            let lt =
+              match u.ua_nest with
+              | Some nest ->
+                linetouch_estimate ~param ~cls:(max 1 (line_bytes / 8)) nest
+              | None -> None
+            in
+            clamp
+              (match lt with Some v -> max v est_cold | None -> miss.hi)
+              miss
+        in
+        let est_hits = max 0 (u.ua_est_acc - est_miss) in
+        (* the optimized region *)
+        let rcold, rmiss =
+          match u.ua_mark with
+          | `All -> (cold, miss)
+          | `None -> (iv_zero, iv_zero)
+          | `Mixed ->
+            ( iv 0 (min cold.hi u.ua_racc.hi),
+              iv 0 (min miss.hi u.ua_racc.hi) )
+        in
+        let rhits =
+          iv
+            (max 0 (u.ua_racc.lo - rmiss.hi))
+            (max 0 (u.ua_racc.hi - rmiss.lo))
+        in
+        let est_rcold, est_rmiss =
+          match u.ua_mark with
+          | `All -> (est_cold, est_miss)
+          | `None -> (0, 0)
+          | `Mixed ->
+            let scale v =
+              if u.ua_est_acc = 0 then 0
+              else v * u.ua_est_racc / u.ua_est_acc
+            in
+            (clamp (scale est_cold) rcold, clamp (scale est_miss) rmiss)
+        in
+        let est_rhits = max 0 (u.ua_est_racc - est_rmiss) in
+        let formula =
+          if u.ua_straightline then "straightline"
+          else if noevict && u.ua_lines <> None then "cold-only"
+          else if u.ua_lines <> None then "bounded-footprint"
+          else "group-linetouch"
+        in
+        let uclass =
+          (* an earlier approx unit widens this unit's cold bracket
+             (its lines may or may not have been pre-touched), so
+             exactness also demands degenerate brackets *)
+          if
+            u.ua_exact && noevict
+            && u.ua_mark <> `Mixed
+            && cold.lo = cold.hi
+          then Exact
+          else Approx
+        in
+        if uclass = Approx then all_exact := false;
+        b_acc := iv_add !b_acc u.ua_acc;
+        b_hits := iv_add !b_hits hits;
+        b_cold := iv_add !b_cold cold;
+        b_racc := iv_add !b_racc u.ua_racc;
+        b_rhits := iv_add !b_rhits rhits;
+        b_rcold := iv_add !b_rcold rcold;
+        b_ops := iv_add !b_ops u.ua_ops;
+        t_acc := !t_acc + u.ua_est_acc;
+        t_hits := !t_hits + est_hits;
+        t_cold := !t_cold + est_cold;
+        t_racc := !t_racc + u.ua_est_racc;
+        t_rhits := !t_rhits + est_rhits;
+        t_rcold := !t_rcold + est_rcold;
+        t_ops := !t_ops + u.ua_est_ops;
+        (match u.ua_lines with
+        | Some ls -> known := Iset.union !known ls
+        | None -> maybe := Iset.union !maybe u.ua_super);
+        if Obs.enabled () then begin
+          Obs.counter "analytic.nests" 1;
+          Obs.counter
+            (if uclass = Exact then "analytic.exact" else "analytic.approx")
+            1;
+          Obs.instant "analytic.unit"
+            ~args:
+              [
+                ("unit", u.ua_name);
+                ("class", if uclass = Exact then "exact" else "approx");
+                ("formula", formula);
+                ("accesses", string_of_int u.ua_est_acc);
+                ("misses", string_of_int est_miss);
+              ]
+        end;
+        reports :=
+          {
+            u_name = u.ua_name;
+            u_class = uclass;
+            u_formula = formula;
+            u_accesses = u.ua_est_acc;
+            u_misses = est_miss;
+          }
+          :: !reports)
+      units;
+    Ok
+      {
+        e_whole =
+          { c_accesses = !t_acc; c_hits = !t_hits; c_cold = !t_cold };
+        e_optimized =
+          { c_accesses = !t_racc; c_hits = !t_rhits; c_cold = !t_rcold };
+        e_ops = !t_ops;
+        e_exact = !all_exact;
+        b_accesses = !b_acc;
+        b_hits = !b_hits;
+        b_cold = !b_cold;
+        b_opt_accesses = !b_racc;
+        b_opt_hits = !b_rhits;
+        b_opt_cold = !b_rcold;
+        b_ops = !b_ops;
+        e_units = List.rev !reports;
+      }
+  with
+  | Bail reason -> Error reason
+  | e -> Error (Printexc.to_string e)

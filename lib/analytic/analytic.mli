@@ -1,0 +1,82 @@
+(** Closed-form symbolic locality analysis: an O(nest-size) analytic
+    fast path beside the trace-replay simulator.
+
+    Where the simulator interprets a program and replays every access
+    against an LRU cache model, this module derives the same counters —
+    accesses, hits, cold misses, ops, per-region tallies — directly from
+    the normalized affine subscripts and symbolic trip counts, in time
+    proportional to the size of the loop nests (plus the data footprint
+    in cache lines), never the number of iterations.
+
+    The analysis classifies each top-level unit (loop nest or straight-
+    line statement) and the program as a whole:
+
+    - {e exact}: every reported number provably equals what the
+      simulator would produce. Requires affine rectangular bounds (or
+      certified triangular bounds for iteration counts), separable
+      in-bounds array subscripts whose footprints are dense at cache-
+      line granularity, and — for hit/miss counts beyond cold misses —
+      a no-eviction certificate (no cache set is ever asked to hold
+      more distinct lines than its associativity).
+    - {e approx}: the numbers are estimates, but every value is
+      accompanied by a sound bracket [lo, hi] that is guaranteed to
+      contain the simulator's value.
+    - {e fallback}: the program is out of scope (non-affine bounds over
+      loop indices, invalid geometry, analysis failure); the caller
+      should replay the trace instead.
+
+    Differentially validated against the simulator by the [`Analytic]
+    fuzzing oracle and [test/test_analytic.ml]. *)
+
+type counts = {
+  c_accesses : int;
+  c_hits : int;
+  c_cold : int;  (** first-ever touches of a cache line *)
+}
+
+type bracket = { lo : int; hi : int }
+(** Inclusive bounds; [lo = hi] on exactly-known quantities. *)
+
+val in_bracket : int -> bracket -> bool
+
+type cls = Exact | Approx
+
+type unit_report = {
+  u_name : string;  (** loop index of the nest, or the statement label *)
+  u_class : cls;
+  u_formula : string;
+      (** which closed form fired: "straightline", "cold-only",
+          "bounded-footprint" or "group-linetouch" *)
+  u_accesses : int;
+  u_misses : int;  (** estimates, always within the unit's brackets *)
+}
+
+type estimate = {
+  e_whole : counts;
+  e_optimized : counts;  (** accesses whose statement label is marked *)
+  e_ops : int;
+  e_exact : bool;  (** whole program exact: every count simulator-equal *)
+  b_accesses : bracket;
+  b_hits : bracket;
+  b_cold : bracket;
+  b_opt_accesses : bracket;
+  b_opt_hits : bracket;
+  b_opt_cold : bracket;
+  b_ops : bracket;
+  e_units : unit_report list;  (** one per top-level node, textual order *)
+}
+
+val estimate :
+  ?params:(string * int) list ->
+  ?optimized_labels:string list ->
+  config:Locality_cachesim.Cache.config ->
+  Program.t ->
+  (estimate, string) result
+(** Analyze the program under the given cache geometry. [params]
+    override the program's default parameter values (same convention as
+    the interpreter). [Error reason] is the fallback verdict.
+
+    Emits [analytic.nests], [analytic.exact], [analytic.approx] and
+    [analytic.fallback] counters plus one ["analytic.unit"] instant per
+    top-level unit recording the formula that fired, when {!Obs}
+    tracing is enabled. *)

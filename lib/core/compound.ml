@@ -1,5 +1,6 @@
 module Obs = Locality_obs.Obs
 module Event = Locality_obs.Event
+module An = Locality_dep.Analysis
 
 type nest_stat = {
   nest_depth : int;
@@ -65,13 +66,6 @@ let inner_name (nest : Loop.t) =
   in
   fst deepest
 
-let cost_at ~cls nest name = Loopcost.loop_cost ~nest ~cls name
-
-let sum_costs ~cls nests =
-  List.fold_left
-    (fun acc n -> Poly.add acc (cost_at ~cls n (inner_name n)))
-    Poly.zero nests
-
 let spine_order (n : Loop.t) =
   List.map (fun (h : Loop.header) -> h.Loop.index) (Loop.loops_on_spine n)
 
@@ -95,24 +89,24 @@ let rec optimize_nest ~cls ~try_reversal ?interference_limit ~outer ~pos
 
 and do_optimize_nest ~cls ~try_reversal ?interference_limit ~outer
     (l : Loop.t) : Loop.t list * stats =
-  let mo = Memorder.compute ~cls l in
+  let deps =
+    Obs.span "dep" (fun () -> An.deps_in_nest ~include_input:true l)
+  in
+  let mo = Memorder.compute ~deps ~cls l in
   let orig_mem = Memorder.is_memory_order mo in
   let orig_inner = Memorder.inner_is_best mo in
-  let cost_orig = cost_at ~cls l (inner_name l) in
-  let cost_ideal = cost_at ~cls l (Memorder.innermost mo) in
+  let cost_orig = Memorder.cost_of mo (inner_name l) in
+  let cost_ideal = Memorder.cost_of mo (Memorder.innermost mo) in
   let finish ?(permuted = false) ?(fused_enabling = false)
       ?(distributed = false) ?(new_nests = 0) ?(reversed = 0) ~action ~reason
       ~extra nests =
-    let final_mem =
-      List.for_all
-        (fun n -> Memorder.is_memory_order (Memorder.compute ~cls n))
-        nests
+    (* One Memorder per result nest, shared by the final_* flags and the
+       final cost; the unchanged nest reuses the ranking from above. *)
+    let mos =
+      List.map (fun n -> if n == l then mo else Memorder.compute ~cls n) nests
     in
-    let final_inner =
-      List.for_all
-        (fun n -> Memorder.inner_is_best (Memorder.compute ~cls n))
-        nests
-    in
+    let final_mem = List.for_all Memorder.is_memory_order mos in
+    let final_inner = List.for_all Memorder.inner_is_best mos in
     let stat =
       {
         nest_depth = Loop.depth l;
@@ -127,7 +121,10 @@ and do_optimize_nest ~cls ~try_reversal ?interference_limit ~outer
         new_nests;
         reversed;
         cost_orig;
-        cost_final = sum_costs ~cls nests;
+        cost_final =
+          List.fold_left2
+            (fun acc n m -> Poly.add acc (Memorder.cost_of m (inner_name n)))
+            Poly.zero nests mos;
         cost_ideal;
         labels = List.map (fun s -> s.Stmt.label) (Loop.statements l);
       }
@@ -155,7 +152,7 @@ and do_optimize_nest ~cls ~try_reversal ?interference_limit ~outer
       ~reason:"already in memory order with the best innermost loop"
       ~extra:empty_stats [ l ]
   else
-    let po = Permute.run ~cls ~try_reversal l in
+    let po = Permute.run ~cls ~try_reversal ~deps ~mo l in
     if
       po.Permute.inner_ok
       && (po.Permute.status = Permute.Permuted

@@ -273,6 +273,68 @@ let fuse_run ?(cls = 4) ?interference_limit ~outer (nests : Loop.t list) =
     let head_label l =
       match Loop.statements l with s :: _ -> s.Stmt.label | [] -> "?"
     in
+    (* Cluster nests are physically stable between sweeps (a fusion only
+       replaces the two nests it merges), so best costs are computed once
+       per nest and the trial-fusion weight once per surviving pair —
+       without this, every sweep restart re-evaluates every pair. *)
+    let bc_cache = ref [] in
+    let best_cost_memo nest =
+      match List.assq_opt nest !bc_cache with
+      | Some c -> c
+      | None ->
+        let c = best_cost ~cls ~outer nest in
+        bc_cache := (nest, c) :: !bc_cache;
+        c
+    in
+    (* Nests sharing no array can never fuse profitably: reference
+       groups cannot merge across the pair (group-spatial and
+       group-temporal reuse both require a common array), so the fused
+       nest's best LoopCost is at least the sum of the parts and the
+       weight is <= 0. Skipping the trial fusion for such pairs saves
+       the dependence analysis and cost evaluation of the fused nest;
+       with Obs enabled the weight is still computed so the
+       fusion.candidate notes keep their exact weight values. *)
+    let arrays_cache = ref [] in
+    let arrays_of nest =
+      match List.assq_opt nest !arrays_cache with
+      | Some s -> s
+      | None ->
+        let module SS = Set.Make (String) in
+        let s =
+          List.fold_left
+            (fun acc s ->
+              List.fold_left
+                (fun acc (r, _) -> SS.add r.Reference.array acc)
+                acc (Stmt.refs s))
+            SS.empty (Loop.statements nest)
+        in
+        let s = SS.elements s in
+        arrays_cache := (nest, s) :: !arrays_cache;
+        s
+    in
+    let no_shared_array a b =
+      not
+        (List.exists
+           (fun x -> List.exists (String.equal x) (arrays_of b))
+           (arrays_of a))
+    in
+    let w_cache = ref [] in
+    let weight_memo a b ~depth =
+      match
+        List.find_opt (fun ((x, y, d), _) -> x == a && y == b && d = depth)
+          !w_cache
+      with
+      | Some (_, w) -> w
+      | None ->
+        let fused = fuse_to_depth a b ~depth in
+        let w =
+          Poly.sub
+            (Poly.add (best_cost_memo a) (best_cost_memo b))
+            (best_cost ~cls ~outer fused)
+        in
+        w_cache := ((a, b, depth), w) :: !w_cache;
+        w
+    in
     let note a b ~depth ~weight:w verdict =
       if Obs.enabled () then
         Obs.instant "fusion.candidate"
@@ -289,8 +351,15 @@ let fuse_run ?(cls = 4) ?interference_limit ~outer (nests : Loop.t list) =
       (* a textually before b *)
       let depth = compatible_level a.nest b.nest in
       if depth >= 1 then begin
-        let w = weight ~cls ~outer a.nest b.nest ~depth in
-        let profitable_raw = Poly.compare_dominant w Poly.zero > 0 in
+        let w_opt =
+          if (not (Obs.enabled ())) && no_shared_array a.nest b.nest then None
+          else Some (weight_memo a.nest b.nest ~depth)
+        in
+        let profitable_raw =
+          match w_opt with
+          | None -> false
+          | Some w -> Poly.compare_dominant w Poly.zero > 0
+        in
         let within_limit =
           match interference_limit with
           | None -> true
@@ -313,7 +382,9 @@ let fuse_run ?(cls = 4) ?interference_limit ~outer (nests : Loop.t list) =
         let is_legal =
           profitable && (not blocked) && legal ~outer a.nest b.nest ~depth
         in
-        note a b ~depth ~weight:w
+        (* [note] only fires with Obs enabled, where [w_opt] is [Some]. *)
+        note a b ~depth
+          ~weight:(match w_opt with Some w -> w | None -> Poly.zero)
           (if not profitable_raw then "rejected: no locality benefit"
            else if not within_limit then
              "rejected: over the interference limit"

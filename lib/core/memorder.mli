@@ -15,6 +15,10 @@ val order : t -> string list
 val innermost : t -> string
 (** The loop with the least cost — the most desirable inner loop. *)
 
+val cost_of : t -> string -> Poly.t
+(** LoopCost of the named loop, as already computed for the ranking.
+    Raises [Not_found] for a loop outside the nest. *)
+
 val is_memory_order : t -> bool
 (** The nest is already in memory order. An order is accepted when no
     adjacent pair is strictly out of order (ties permute freely). *)

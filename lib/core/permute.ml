@@ -111,11 +111,18 @@ let note_candidate order reversed verdict =
            else [ ("reversed", String.concat "," reversed) ])
         @ [ ("verdict", verdict) ])
 
-let run ?(cls = 4) ?(try_reversal = true) nest =
+let run ?(cls = 4) ?(try_reversal = true) ?deps ?mo nest =
   let deps_all =
-    Obs.span "dep" (fun () -> An.deps_in_nest ~include_input:true nest)
+    match deps with
+    | Some d -> d
+    | None ->
+      Obs.span "dep" (fun () -> An.deps_in_nest ~include_input:true nest)
   in
-  let mo = Memorder.compute ~deps:deps_all ~cls nest in
+  let mo =
+    match mo with
+    | Some m -> m
+    | None -> Memorder.compute ~deps:deps_all ~cls nest
+  in
   let original = mo.Memorder.original in
   let unchanged status =
     {

@@ -22,9 +22,17 @@ type outcome = {
   reversed : string list;  (** loops reversed to enable the permutation *)
 }
 
-val run : ?cls:int -> ?try_reversal:bool -> Loop.t -> outcome
+val run :
+  ?cls:int ->
+  ?try_reversal:bool ->
+  ?deps:Locality_dep.Depend.t list ->
+  ?mo:Memorder.t ->
+  Loop.t ->
+  outcome
 (** Permute a perfect nest toward memory order. Imperfect nests are
     returned unchanged with status [Failed_deps] and [inner_ok] reflecting
-    the current order (callers fuse or distribute first). *)
+    the current order (callers fuse or distribute first). [deps] (with
+    input dependences) and [mo] may be supplied when the caller has
+    already computed them for this nest. *)
 
 val status_to_string : status -> string

@@ -22,4 +22,16 @@ val compute :
     by [Analysis.deps_in_nest ~include_input:true]); [cls] is the cache
     line size in array elements. Scalar references do not participate. *)
 
+type pre
+(** The loop-independent part of grouping (members, spatial unions,
+    dependence edges), computed once per nest and shared across
+    candidate loops. *)
+
+val prepare :
+  nest:Loop.t -> deps:Locality_dep.Depend.t list -> cls:int -> pre
+
+val groups : pre -> loop:string -> group list
+(** [groups (prepare ~nest ~deps ~cls) ~loop] = [compute ~nest ~deps
+    ~loop ~cls], without repeating the loop-independent work. *)
+
 val pp_group : Format.formatter -> group -> unit

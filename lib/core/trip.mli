@@ -17,6 +17,10 @@ val closed_expr : env -> maximize:bool -> Expr.t -> Poly.t
 (** Eliminate index variables from a bound expression, maximising or
     minimising its value over the enclosing iteration space. *)
 
+val closed_poly : env -> maximize:bool -> int -> Poly.t -> Poly.t
+(** Same elimination on a polynomial already in hand; the [int] is a
+    substitution fuel bound (32 suffices for any real nest). *)
+
 val closed_trip : env -> Loop.header -> Poly.t
 (** Maximised symbolic trip count [(ub - lb + step) / step] with index
     variables eliminated. *)

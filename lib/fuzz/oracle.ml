@@ -1,27 +1,31 @@
 module Driver = Locality_driver.Driver
 module Measure = Locality_interp.Measure
 module Exec = Locality_interp.Exec
+module Machine = Locality_cachesim.Machine
+module Analytic = Locality_analytic.Analytic
 module L = Locality_lang
 
-type kind = [ `Exec | `Replay | `Roundtrip | `Cgen ]
+type kind = [ `Exec | `Replay | `Roundtrip | `Cgen | `Analytic ]
 
-let all = [ `Exec; `Replay; `Roundtrip; `Cgen ]
+let all = [ `Exec; `Replay; `Roundtrip; `Cgen; `Analytic ]
 
 let kind_to_string = function
   | `Exec -> "exec"
   | `Replay -> "replay"
   | `Roundtrip -> "roundtrip"
   | `Cgen -> "cgen"
+  | `Analytic -> "analytic"
 
 let kind_of_string = function
   | "exec" -> Ok `Exec
   | "replay" -> Ok `Replay
   | "roundtrip" -> Ok `Roundtrip
   | "cgen" -> Ok `Cgen
+  | "analytic" -> Ok `Analytic
   | s ->
     Error
-      (Printf.sprintf "unknown oracle %s (expected exec|replay|roundtrip|cgen)"
-         s)
+      (Printf.sprintf
+         "unknown oracle %s (expected exec|replay|roundtrip|cgen|analytic)" s)
 
 type finding = { kind : kind; detail : string }
 
@@ -193,6 +197,93 @@ let check_cgen ~which p =
         (Printf.sprintf "native checksum %.9g, interpreter %.9g" native
            expected)
 
+(* The closed-form analytic model against the simulator: every bracket
+   it reports must contain the simulated value, and when it claims
+   exactness the counts must be simulator-equal. A fallback verdict is
+   not a finding — the model is allowed to refuse, never to be wrong.
+   Region marking is exercised with a deterministic every-other-label
+   set. *)
+let check_analytic ~which p =
+  let labels =
+    let rec stmts = function
+      | Loop.Stmt s -> [ s.Stmt.label ]
+      | Loop.Loop l -> List.concat_map stmts l.Loop.body
+    in
+    List.concat_map stmts p.Program.body
+    |> List.filteri (fun i _ -> i mod 2 = 0)
+  in
+  List.concat_map
+    (fun config ->
+      match Analytic.estimate ~optimized_labels:labels ~config p with
+      | Error _ -> []
+      | Ok est ->
+        let sim =
+          Measure.replay_prepared ~config ~optimized_labels:labels
+            (Measure.prepare ~mode:Measure.Runs ~store:None p)
+        in
+        let fail detail =
+          {
+            kind = `Analytic;
+            detail =
+              Printf.sprintf "%s on %s: %s" which config.Locality_cachesim.Cache.name
+                detail;
+          }
+        in
+        let bracketed =
+          List.filter_map
+            (fun (what, v, (b : Analytic.bracket)) ->
+              if Analytic.in_bracket v b then None
+              else
+                Some
+                  (fail
+                     (Printf.sprintf "simulated %s %d outside bracket [%d,%d]"
+                        what v b.Analytic.lo b.Analytic.hi)))
+            [
+              ("accesses", sim.Measure.whole.Measure.accesses,
+               est.Analytic.b_accesses);
+              ("hits", sim.Measure.whole.Measure.hits, est.Analytic.b_hits);
+              ("cold", sim.Measure.whole.Measure.cold, est.Analytic.b_cold);
+              ("opt accesses", sim.Measure.optimized.Measure.accesses,
+               est.Analytic.b_opt_accesses);
+              ("opt hits", sim.Measure.optimized.Measure.hits,
+               est.Analytic.b_opt_hits);
+              ("opt cold", sim.Measure.optimized.Measure.cold,
+               est.Analytic.b_opt_cold);
+              ("ops", sim.Measure.ops, est.Analytic.b_ops);
+            ]
+        in
+        let exact =
+          if not est.Analytic.e_exact then []
+          else
+            List.filter_map
+              (fun (what, simv, anav) ->
+                if simv = anav then None
+                else
+                  Some
+                    (fail
+                       (Printf.sprintf
+                          "claimed exact but %s differs: simulated %d, \
+                           analytic %d"
+                          what simv anav)))
+              [
+                ("accesses", sim.Measure.whole.Measure.accesses,
+                 est.Analytic.e_whole.Analytic.c_accesses);
+                ("hits", sim.Measure.whole.Measure.hits,
+                 est.Analytic.e_whole.Analytic.c_hits);
+                ("cold", sim.Measure.whole.Measure.cold,
+                 est.Analytic.e_whole.Analytic.c_cold);
+                ("opt accesses", sim.Measure.optimized.Measure.accesses,
+                 est.Analytic.e_optimized.Analytic.c_accesses);
+                ("opt hits", sim.Measure.optimized.Measure.hits,
+                 est.Analytic.e_optimized.Analytic.c_hits);
+                ("opt cold", sim.Measure.optimized.Measure.cold,
+                 est.Analytic.e_optimized.Analytic.c_cold);
+                ("ops", sim.Measure.ops, est.Analytic.e_ops);
+              ]
+        in
+        bracketed @ exact)
+    [ Machine.cache1; Machine.cache2 ]
+
 let check ?(oracles = all) p =
   let want k = List.mem k oracles in
   match transform p with
@@ -205,4 +296,5 @@ let check ?(oracles = all) p =
     (if want `Exec then check_exec p pt else [])
     @ (if want `Replay then on_both check_replay else [])
     @ (if want `Roundtrip then on_both check_roundtrip else [])
-    @ if want `Cgen && cgen_available () then on_both check_cgen else []
+    @ (if want `Cgen && cgen_available () then on_both check_cgen else [])
+    @ if want `Analytic then on_both check_analytic else []

@@ -16,11 +16,18 @@
       program versions.
     - [`Cgen]: the {!Pretty_c} native backend (when a C compiler is on
       [PATH]) computes the interpreter's checksum, on both versions.
+    - [`Analytic]: the closed-form locality model
+      ({!Locality_analytic.Analytic}) agrees with the trace-replay
+      simulator on both program versions under both machine
+      geometries — every bracket it reports contains the simulated
+      value, and counts are simulator-equal whenever it claims
+      exactness. A fallback verdict is allowed (the model may refuse a
+      program), a wrong number never is.
 
     Oracles are pure observers: a failed check is returned as a
     {!finding}, never raised. *)
 
-type kind = [ `Exec | `Replay | `Roundtrip | `Cgen ]
+type kind = [ `Exec | `Replay | `Roundtrip | `Cgen | `Analytic ]
 
 val all : kind list
 (** Every oracle, in check order. *)

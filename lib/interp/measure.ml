@@ -34,13 +34,20 @@ let hit_rate ?exclude_cold r =
    capture and let replay bulk-advance whole cache-line windows. The
    formats produce bit-identical statistics (differentially tested), so
    the choice is purely a performance knob: MEMORIA_REPLAY=per-access
-   forces v1, anything else (including unset) captures v2. *)
+   forces v1, anything else (including unset) captures v2.
 
-type replay_mode = Per_access | Runs
+   A third mode skips tracing altogether: MEMORIA_REPLAY=analytic asks
+   the closed-form locality model ({!Locality_analytic.Analytic}) for
+   the run, in O(nest size) instead of O(iterations). Programs the
+   model cannot analyze fall back to v2 capture-and-replay, so the mode
+   is total; the fallback is counted under [analytic.fallback]. *)
+
+type replay_mode = Per_access | Runs | Analytic
 
 let replay_mode () =
   match Sys.getenv_opt "MEMORIA_REPLAY" with
   | Some "per-access" -> Per_access
+  | Some "analytic" -> Analytic
   | Some _ | None -> Runs
 
 type traced = V1 of Trace.captured | V2 of Trace.captured_runs
@@ -64,7 +71,9 @@ type capture = {
    version into every key, so marshalled-layout changes retire old
    entries wholesale. *)
 
-let mode_tag = function Per_access -> "v1" | Runs -> "v2"
+(* Analytic-mode fallbacks capture a v2 trace, so they share the v2
+   capture (and run) store entries rather than duplicating them. *)
+let mode_tag = function Per_access -> "v1" | Runs | Analytic -> "v2"
 
 let params_tag params =
   String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) params)
@@ -115,7 +124,7 @@ let interpret_capture ~mode ?params ~cap_key (p : Program.t) =
           Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops)
         end;
         { trace = V1 t; cap_ops = res.Fastexec.ops; cap_key }
-      | Runs ->
+      | Runs | Analytic ->
         let rb, finish = Trace.run_capturing () in
         let res = Fastexec.run_traced_runs ?params rb p in
         let t = finish () in
@@ -267,11 +276,101 @@ let prepared_capture pr =
     pr.p_cap <- Some c;
     c
 
+(* ------------------------------------------------ analytic mode ----- *)
+
+module Analytic_model = Locality_analytic.Analytic
+
+(* The analytic result is keyed on everything that determines it —
+   program text, parameters, geometry, timing, labels — under its own
+   store kind, so estimates never collide with simulated runs. *)
+let analytic_key ?(params = []) ~config ~timing ~labels (p : Program.t) =
+  Store.key ~kind:"analytic"
+    [
+      Pretty.program_to_string p;
+      params_tag params;
+      config_tag config;
+      timing_tag timing;
+      labels_tag labels;
+    ]
+
+let run_of_estimate ~timing (est : Analytic_model.estimate) =
+  let whole =
+    {
+      accesses = est.Analytic_model.e_whole.Analytic_model.c_accesses;
+      hits = est.Analytic_model.e_whole.Analytic_model.c_hits;
+      cold = est.Analytic_model.e_whole.Analytic_model.c_cold;
+    }
+  in
+  let optimized =
+    {
+      accesses = est.Analytic_model.e_optimized.Analytic_model.c_accesses;
+      hits = est.Analytic_model.e_optimized.Analytic_model.c_hits;
+      cold = est.Analytic_model.e_optimized.Analytic_model.c_cold;
+    }
+  in
+  let ops = est.Analytic_model.e_ops in
+  let misses = whole.accesses - whole.hits in
+  {
+    whole;
+    optimized;
+    ops;
+    cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses;
+    seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
+  }
+
+(* [None] is the fallback verdict: the caller replays the trace. The
+   verdict itself is not cached — the analysis is O(nest size), cheaper
+   than a store round-trip for anything it rejects. *)
+let analytic_prepared ~config ~timing ~optimized_labels pr =
+  let compute () =
+    Obs.span "analytic" ~args:[ ("cache", config.Cache.name) ] (fun () ->
+        match
+          Analytic_model.estimate ?params:pr.p_params ~optimized_labels
+            ~config pr.p_program
+        with
+        | Ok est ->
+          if Obs.enabled () then
+            Obs.add_span_arg "exact"
+              (if est.Analytic_model.e_exact then "true" else "false");
+          Some (run_of_estimate ~timing est)
+        | Error reason ->
+          if Obs.enabled () then begin
+            Obs.counter "analytic.fallback" 1;
+            Obs.add_span_arg "fallback" reason
+          end;
+          None)
+  in
+  match pr.p_store with
+  | None -> compute ()
+  | Some st -> (
+    let k =
+      analytic_key
+        ?params:pr.p_params ~config ~timing ~labels:optimized_labels
+        pr.p_program
+    in
+    match (Store.get_value st k : run option) with
+    | Some r -> Some r
+    | None -> (
+      match compute () with
+      | Some r ->
+        Store.put_value st k r;
+        Some r
+      | None -> None))
+
 let replay_prepared ?(config = Machine.cache1)
     ?(timing = Machine.default_timing) ?(optimized_labels = []) pr =
-  cached_run ~store:pr.p_store ~cap_key:pr.p_key ~config ~timing
-    ~labels:optimized_labels (fun () ->
-      replay_compute ~config ~timing ~optimized_labels (prepared_capture pr))
+  let simulate () =
+    cached_run ~store:pr.p_store ~cap_key:pr.p_key ~config ~timing
+      ~labels:optimized_labels (fun () ->
+        replay_compute ~config ~timing ~optimized_labels
+          (prepared_capture pr))
+  in
+  match pr.p_mode with
+  | Analytic -> (
+    match analytic_prepared ~config ~timing ~optimized_labels pr with
+    | Some r -> r
+    | None -> simulate ())
+  | Per_access | Runs -> simulate ()
 
 let measure ?config ?timing ?optimized_labels ?params ?store (p : Program.t) =
   replay_prepared ?config ?timing ?optimized_labels (prepare ?params ?store p)

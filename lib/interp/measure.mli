@@ -39,15 +39,28 @@ val hit_rate : ?exclude_cold:bool -> region -> float
     region saw no accesses at all, 0.0 when every access was a cold miss
     (no reuse to score). *)
 
-type replay_mode = Per_access | Runs
+type replay_mode = Per_access | Runs | Analytic
 (** Trace format selector. [Per_access] is the v1 flat record stream;
     [Runs] is the v2 run-compressed stream whose strided-run groups
     both shrink the capture and let replay bulk-advance whole
-    cache-line windows. Statistics are bit-identical either way. *)
+    cache-line windows. Statistics are bit-identical either way.
+
+    [Analytic] skips tracing entirely: {!replay_prepared} and
+    {!measure} ask the closed-form locality model
+    ({!Locality_analytic.Analytic}) for the run, in O(nest size)
+    instead of O(iterations). The numbers are simulator-equal on
+    programs the model certifies exact and sound estimates elsewhere;
+    out-of-scope programs transparently fall back to v2
+    capture-and-replay (counted under [analytic.fallback]), so the
+    mode is total. Analytic results live under their own store kind
+    ("analytic") and never collide with simulated runs. Hierarchy
+    measurements ({!replay_hierarchy}, {!measure_hierarchy}) always
+    simulate. *)
 
 val replay_mode : unit -> replay_mode
 (** The mode selected by the [MEMORIA_REPLAY] environment variable:
-    ["per-access"] forces v1; any other value, or unset, selects v2. *)
+    ["per-access"] forces v1; ["analytic"] selects the closed-form
+    model; any other value, or unset, selects v2. *)
 
 type capture
 (** A program's batched address trace plus its operation count: the

@@ -118,6 +118,38 @@ let subst p x q =
         add acc term)
     p zero
 
+let coeffs_in p x =
+  (* Split each monomial by its power of [x]; bucket k collects the
+     residual monomials of the terms with x^k. *)
+  let buckets = Hashtbl.create 4 in
+  let maxdeg = ref 0 in
+  MonoMap.iter
+    (fun m c ->
+      let e = match List.assoc_opt x m with None -> 0 | Some e -> e in
+      if e > !maxdeg then maxdeg := e;
+      let rest = List.filter (fun (y, _) -> y <> x) m in
+      let prev =
+        match Hashtbl.find_opt buckets e with None -> zero | Some p -> p
+      in
+      Hashtbl.replace buckets e (norm_add rest c prev))
+    p;
+  List.init (!maxdeg + 1) (fun k ->
+      match Hashtbl.find_opt buckets k with None -> zero | Some p -> p)
+
+let eval_rat p env =
+  MonoMap.fold
+    (fun m c acc ->
+      let v =
+        List.fold_left
+          (fun acc (x, e) ->
+            let b = env x in
+            let rec p acc k = if k = 0 then acc else p (Rat.mul acc b) (k - 1) in
+            p acc e)
+          c m
+      in
+      Rat.add acc v)
+    p Rat.zero
+
 let eval p env =
   MonoMap.fold
     (fun m c acc ->

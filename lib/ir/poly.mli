@@ -42,6 +42,15 @@ val subst : t -> string -> t -> t
 
 val eval : t -> (string -> float) -> float
 
+val eval_rat : t -> (string -> Rat.t) -> Rat.t
+(** Exact evaluation under a rational assignment — no float rounding,
+    so integer-valued polynomials evaluate to exact integers. *)
+
+val coeffs_in : t -> string -> t list
+(** [coeffs_in p x] is [[c0; c1; ...; cd]] with [p = sum ci * x^i] and
+    no [ci] mentioning [x]; [d] is the degree of [p] in [x] (a
+    polynomial free of [x] yields the singleton [[p]]). *)
+
 val compare_dominant : t -> t -> int
 (** Order by dominating term: compare monomials from highest total degree
     down (graded lexicographic), first differing coefficient decides. This

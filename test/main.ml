@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("store", Test_store.suite);
       ("fuzz", Test_fuzz.suite);
+      ("analytic", Test_analytic.suite);
     ]

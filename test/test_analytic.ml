@@ -1,0 +1,326 @@
+(* The closed-form analytic locality model, validated differentially
+   against the trace-replay simulator. The contract under test:
+
+   - every bracket the analysis reports contains the simulator's value;
+   - when a unit (or the whole program) is classified exact, the
+     estimate EQUALS the simulator's number, bit for bit;
+   - out-of-scope programs produce a fallback verdict, never a wrong
+     number. *)
+
+open Locality_ir
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+module Measure = Locality_interp.Measure
+module Analytic = Locality_analytic.Analytic
+module Kernels = Locality_suite.Kernels
+module Programs = Locality_suite.Programs
+module Obs = Locality_obs.Obs
+
+let small_assoc =
+  { Cache.name = "sa4"; size_bytes = 4096; assoc = 4; line_bytes = 64 }
+
+let tiny_dm =
+  { Cache.name = "dm"; size_bytes = 1024; assoc = 1; line_bytes = 32 }
+
+let configs = [ Machine.cache1; Machine.cache2; small_assoc; tiny_dm ]
+
+let simulate ?params ?(optimized_labels = []) ~config p =
+  let cap = Measure.capture ~mode:Measure.Runs ?params ~store:None p in
+  Measure.replay ~config ~optimized_labels ~store:None cap
+
+(* The core differential check: brackets sound always, equality when
+   exactness is claimed. *)
+let check_against_sim ?params ?(optimized_labels = []) ~config name p =
+  match Analytic.estimate ?params ~optimized_labels ~config p with
+  | Error _ -> ()
+  | Ok est ->
+    let sim = simulate ?params ~optimized_labels ~config p in
+    let misses r = r.Measure.accesses - r.Measure.hits in
+    let chk what v b =
+      Alcotest.(check bool)
+        (Printf.sprintf "%s on %s: %s %d in [%d,%d]" name config.Cache.name
+           what v b.Analytic.lo b.Analytic.hi)
+        true
+        (Analytic.in_bracket v b)
+    in
+    chk "accesses" sim.Measure.whole.Measure.accesses est.Analytic.b_accesses;
+    chk "hits" sim.Measure.whole.Measure.hits est.Analytic.b_hits;
+    chk "cold" sim.Measure.whole.Measure.cold est.Analytic.b_cold;
+    chk "opt accesses" sim.Measure.optimized.Measure.accesses
+      est.Analytic.b_opt_accesses;
+    chk "opt hits" sim.Measure.optimized.Measure.hits est.Analytic.b_opt_hits;
+    chk "opt cold" sim.Measure.optimized.Measure.cold est.Analytic.b_opt_cold;
+    chk "ops" sim.Measure.ops est.Analytic.b_ops;
+    if est.Analytic.e_exact then begin
+      let eq what a b =
+        Alcotest.(check int)
+          (Printf.sprintf "%s on %s: exact %s" name config.Cache.name what)
+          a b
+      in
+      eq "accesses" sim.Measure.whole.Measure.accesses
+        est.Analytic.e_whole.Analytic.c_accesses;
+      eq "hits" sim.Measure.whole.Measure.hits
+        est.Analytic.e_whole.Analytic.c_hits;
+      eq "cold" sim.Measure.whole.Measure.cold
+        est.Analytic.e_whole.Analytic.c_cold;
+      eq "opt accesses" sim.Measure.optimized.Measure.accesses
+        est.Analytic.e_optimized.Analytic.c_accesses;
+      eq "opt hits" sim.Measure.optimized.Measure.hits
+        est.Analytic.e_optimized.Analytic.c_hits;
+      eq "opt cold" sim.Measure.optimized.Measure.cold
+        est.Analytic.e_optimized.Analytic.c_cold;
+      eq "ops" sim.Measure.ops est.Analytic.e_ops
+    end;
+    (* whole-program miss estimate stays inside the derivable bracket *)
+    let est_miss =
+      est.Analytic.e_whole.Analytic.c_accesses
+      - est.Analytic.e_whole.Analytic.c_hits
+    in
+    let miss_lo =
+      max 0 (est.Analytic.b_accesses.Analytic.lo - est.Analytic.b_hits.Analytic.hi)
+    in
+    let miss_hi =
+      est.Analytic.b_accesses.Analytic.hi - est.Analytic.b_hits.Analytic.lo
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s on %s: miss estimate bracketed" name
+         config.Cache.name)
+      true
+      (miss_lo <= est_miss && est_miss <= miss_hi);
+    ignore (misses sim.Measure.whole)
+
+let check_everywhere ?params ?(optimized_labels = []) name p =
+  List.iter
+    (fun config -> check_against_sim ?params ~optimized_labels ~config name p)
+    configs
+
+(* ------------------------------------------------- exact kernels ----- *)
+
+(* matmul under the 64 KB cache at small n: whole footprint resident,
+   no set overflows its associativity, every subscript separable — the
+   analysis must claim whole-program exactness, not merely brackets. *)
+let test_matmul_exact () =
+  List.iter
+    (fun order ->
+      List.iter
+        (fun n ->
+          let p = Kernels.matmul ~order n in
+          (match
+             Analytic.estimate ~config:Machine.cache1 p
+           with
+          | Error e -> Alcotest.failf "matmul %s n=%d fell back: %s" order n e
+          | Ok est ->
+            Alcotest.(check bool)
+              (Printf.sprintf "matmul %s n=%d exact" order n)
+              true est.Analytic.e_exact);
+          check_against_sim ~config:Machine.cache1
+            (Printf.sprintf "matmul %s n=%d" order n)
+            p)
+        [ 8; 13; 24 ])
+    Kernels.matmul_orders
+
+let test_stencil_exact () =
+  let p = Kernels.adi_fragment 16 in
+  (match Analytic.estimate ~config:Machine.cache1 p with
+  | Error e -> Alcotest.failf "adi fell back: %s" e
+  | Ok est ->
+    Alcotest.(check bool) "adi exact under big cache" true
+      est.Analytic.e_exact);
+  check_everywhere "adi_fragment" p
+
+let test_transpose_exact () =
+  let p = Kernels.transpose 24 in
+  (match Analytic.estimate ~config:Machine.cache1 p with
+  | Error e -> Alcotest.failf "transpose fell back: %s" e
+  | Ok est ->
+    Alcotest.(check bool) "transpose exact under big cache" true
+      est.Analytic.e_exact);
+  check_everywhere "transpose" p
+
+(* Under the small caches the no-eviction certificate fails and the
+   analysis must degrade to sound brackets, never claim exactness it
+   cannot certify, and never report a value outside the bracket. *)
+let test_small_cache_brackets () =
+  List.iter
+    (fun (name, p) -> check_everywhere name p)
+    [
+      ("matmul IJK 24", Kernels.matmul ~order:"IJK" 24);
+      ("matmul JKI 24", Kernels.matmul ~order:"JKI" 24);
+      ("erlebacher", Kernels.erlebacher_hand 8);
+      ("gmtry", Kernels.gmtry 10);
+      ("vpenta", Kernels.vpenta 8);
+      ("simple_hydro", Kernels.simple_hydro 10);
+    ]
+
+(* Triangular nests: iteration counts come from the certified Faulhaber
+   path (exact brackets on accesses/ops), footprints are approximate. *)
+let test_triangular_access_counts () =
+  List.iter
+    (fun (name, p) ->
+      (match Analytic.estimate ~config:Machine.cache1 p with
+      | Error e -> Alcotest.failf "%s fell back: %s" name e
+      | Ok est ->
+        Alcotest.(check bool)
+          (name ^ ": access bracket degenerate")
+          true
+          (est.Analytic.b_accesses.Analytic.lo
+          = est.Analytic.b_accesses.Analytic.hi));
+      check_everywhere name p)
+    [
+      ("cholesky KIJ", Kernels.cholesky ~form:`KIJ 12);
+      ("cholesky KJI", Kernels.cholesky ~form:`KJI 12);
+      ("lu", Kernels.lu 12);
+    ]
+
+(* ------------------------------------------------- region marking ---- *)
+
+let test_optimized_region () =
+  let p = Kernels.erlebacher_hand 8 in
+  let all_labels =
+    let rec stmt_labels = function
+      | Loop.Stmt s -> [ s.Stmt.label ]
+      | Loop.Loop l -> List.concat_map stmt_labels l.Loop.body
+    in
+    List.concat_map stmt_labels p.Program.body
+  in
+  let some = List.filteri (fun i _ -> i mod 2 = 0) all_labels in
+  check_everywhere ~optimized_labels:some "erlebacher half-marked" p;
+  check_everywhere ~optimized_labels:all_labels "erlebacher all-marked" p;
+  check_everywhere ~optimized_labels:[] "erlebacher unmarked" p
+
+(* ------------------------------------------------- parameters -------- *)
+
+let test_param_overrides () =
+  let p = Kernels.matmul ~order:"JKI" 10 in
+  List.iter
+    (fun n ->
+      check_against_sim
+        ~params:[ ("N", n) ]
+        ~config:Machine.cache2
+        (Printf.sprintf "matmul N:=%d" n)
+        p)
+    [ 1; 2; 7; 16 ]
+
+(* ------------------------------------------------- fallback ---------- *)
+
+let test_nonaffine_falls_back () =
+  (* MIN over a loop index in a bound (a clamped loop): handled by
+     interval composition, so the model must produce a sound bracket
+     rather than refuse. *)
+  let clamped =
+    let open Builder in
+    let n = v "N" in
+    program "clamped" ~params:[ ("N", 12) ]
+      ~arrays:[ ("A", [ n; n ]) ]
+      [
+        do_ "I" (i 1) n
+          [
+            do_ "J" (i 1) (Expr.Min (v "I" +$ i 3, n))
+              [ asn (r "A" [ v "J"; v "I" ]) (f 1.0) ];
+          ];
+      ]
+  in
+  (match Analytic.estimate ~config:Machine.cache1 clamped with
+  | Error e -> Alcotest.failf "MIN bound must be bracketed, fell back: %s" e
+  | Ok est ->
+    let sim = simulate ~config:Machine.cache1 clamped in
+    Alcotest.(check bool)
+      "MIN-bound access bracket contains simulator" true
+      (Analytic.in_bracket sim.Measure.whole.Measure.accesses
+         est.Analytic.b_accesses));
+  (* A symbolic divisor is genuinely out of scope: the analysis must
+     refuse rather than guess. *)
+  let p =
+    let open Builder in
+    let n = v "N" in
+    program "symdiv" ~params:[ ("N", 12) ]
+      ~arrays:[ ("A", [ n; n ]) ]
+      [
+        do_ "I" (i 1) n
+          [
+            do_ "J" (i 1) (Expr.Div (n, v "I"))
+              [ asn (r "A" [ v "J"; v "I" ]) (f 1.0) ];
+          ];
+      ]
+  in
+  (match Analytic.estimate ~config:Machine.cache1 p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-affine bound must fall back");
+  (* and the simulator path still measures it *)
+  let sim = simulate ~config:Machine.cache1 p in
+  Alcotest.(check bool) "simulator still works" true
+    (sim.Measure.whole.Measure.accesses > 0)
+
+let test_fallback_counter () =
+  let p =
+    let open Builder in
+    let n = v "N" in
+    program "clamped2" ~params:[ ("N", 8) ]
+      ~arrays:[ ("A", [ n ]) ]
+      [
+        do_ "I" (i 1) (Expr.Max (n, v "K"))
+          [ asn (r "A" [ v "I" ]) (f 1.0) ];
+      ]
+  in
+  (* unbound K in a bound: fallback, reported as such *)
+  match Analytic.estimate ~config:Machine.cache1 p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound bound variable must fall back"
+
+(* ------------------------------------------------- whole suite ------- *)
+
+let test_suite_differential () =
+  List.iter
+    (fun (e : Programs.entry) ->
+      let p = Programs.program_of ~n:8 e in
+      List.iter
+        (fun config ->
+          check_against_sim ~config e.Programs.name p)
+        [ Machine.cache1; Machine.cache2 ])
+    Programs.all
+
+(* ------------------------------------------------- observability ----- *)
+
+let test_obs_counters () =
+  let p = Kernels.matmul ~order:"IJK" 8 in
+  let _, trace =
+    Obs.collect (fun () ->
+        ignore (Analytic.estimate ~config:Machine.cache1 p))
+  in
+  let count name =
+    List.fold_left
+      (fun acc (e : Locality_obs.Event.t) ->
+        match e.Locality_obs.Event.payload with
+        | Locality_obs.Event.Counter { name = n; delta }
+          when String.equal n name ->
+          acc + delta
+        | Locality_obs.Event.Instant { name = n; _ } when String.equal n name
+          ->
+          acc + 1
+        | _ -> acc)
+      0 trace
+  in
+  Alcotest.(check bool) "analytic.nests emitted" true (count "analytic.nests" > 0);
+  Alcotest.(check bool) "analytic.unit emitted" true (count "analytic.unit" > 0);
+  Alcotest.(check int) "every nest classified" (count "analytic.nests")
+    (count "analytic.exact" + count "analytic.approx")
+
+let suite =
+  [
+    Alcotest.test_case "matmul: all orders exact" `Quick test_matmul_exact;
+    Alcotest.test_case "adi stencil exact" `Quick test_stencil_exact;
+    Alcotest.test_case "transpose exact" `Quick test_transpose_exact;
+    Alcotest.test_case "small caches: sound brackets" `Quick
+      test_small_cache_brackets;
+    Alcotest.test_case "triangular nests: exact access counts" `Quick
+      test_triangular_access_counts;
+    Alcotest.test_case "optimized-region marking" `Quick test_optimized_region;
+    Alcotest.test_case "parameter overrides" `Quick test_param_overrides;
+    Alcotest.test_case "non-affine bound falls back" `Quick
+      test_nonaffine_falls_back;
+    Alcotest.test_case "unbound bound variable falls back" `Quick
+      test_fallback_counter;
+    Alcotest.test_case "all 35 programs: differential vs simulator" `Slow
+      test_suite_differential;
+    Alcotest.test_case "obs counters" `Quick test_obs_counters;
+  ]
