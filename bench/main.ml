@@ -25,8 +25,13 @@ module Stats = Locality_stats
 module Pool = Locality_par.Pool
 module Obs = Locality_obs.Obs
 module Chrome = Locality_obs.Chrome
+module Summary = Locality_obs.Summary
+module Openmetrics = Locality_obs.Openmetrics
+module Flame = Locality_obs.Flame
 module Measure = Locality_interp.Measure
 module Store = Locality_store.Store
+module Telemetry = Locality_telemetry.Telemetry
+module Record = Locality_telemetry.Record
 
 (* With MEMORIA_STORE set, say how the store did: a stderr summary line
    CI parses for the warm-run hit rate (stdout stays byte-identical). *)
@@ -531,13 +536,22 @@ let run_experiments ~jobs selected =
     (fun (name, out) -> Printf.printf "\n##### %s #####\n\n%s%!" name out)
     rendered
 
+let replay_mode_name () =
+  match Sys.getenv_opt "MEMORIA_REPLAY" with
+  | Some "per-access" -> "per-access"
+  | Some "analytic" -> "analytic"
+  | _ -> "runs"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Strip -j/--jobs N and --trace FILE / --profile anywhere on the
-     command line (same convention the memoria binary uses). *)
+  (* Strip -j/--jobs N, --trace FILE, --profile, --metrics FILE and
+     --flame FILE anywhere on the command line (same convention the
+     memoria binary uses). *)
   let jobs = ref None in
   let trace = ref None in
   let profile = ref false in
+  let metrics = ref None in
+  let flame = ref None in
   let rec strip = function
     | ("-j" | "--jobs") :: n :: rest -> (
       match int_of_string_opt n with
@@ -556,6 +570,18 @@ let () =
     | [ "--trace" ] ->
       Printf.eprintf "--trace needs a FILE\n";
       exit 1
+    | "--metrics" :: path :: rest ->
+      metrics := Some path;
+      strip rest
+    | [ "--metrics" ] ->
+      Printf.eprintf "--metrics needs a FILE\n";
+      exit 1
+    | "--flame" :: path :: rest ->
+      flame := Some path;
+      strip rest
+    | [ "--flame" ] ->
+      Printf.eprintf "--flame needs a FILE\n";
+      exit 1
     | "--profile" :: rest ->
       profile := true;
       strip rest
@@ -564,16 +590,66 @@ let () =
   in
   let args = strip args in
   let jobs = match !jobs with Some j -> j | None -> Pool.default_jobs () in
-  if !trace <> None || !profile then begin
+  let telemetry = Telemetry.enabled () in
+  let workload =
+    Printf.sprintf "bench:%s:jobs=%d"
+      (match args with [] -> "all" | l -> String.concat "+" l)
+      jobs
+  in
+  if
+    !trace <> None || !profile || !metrics <> None || !flame <> None
+    || telemetry
+  then begin
+    let t0 = Unix.gettimeofday () in
     Obs.set_enabled true;
     Obs.reset ();
     at_exit (fun () ->
+        (* The warm-run hit rate as a gauge, from the process-global
+           store counters: the stderr store summary (registered at
+           module init, so it runs after this handler) is too late for
+           the exporters, so compute it here while recording is on. *)
+        (let c = Store.counters () in
+         let looked_up = c.Store.hits + c.Store.misses in
+         if looked_up > 0 then
+           Obs.gauge "store.hit_rate"
+             (float_of_int c.Store.hits /. float_of_int looked_up));
         let events = Obs.drain () in
         Obs.set_enabled false;
+        let summary = lazy (Summary.of_events events) in
         Option.iter
           (fun path -> Chrome.write ~path ~process_name:"bench" events)
           !trace;
-        if !profile then prerr_string (Stats.Profile.of_events events))
+        Option.iter
+          (fun path -> Openmetrics.write ~path (Lazy.force summary))
+          !metrics;
+        Option.iter (fun path -> Flame.write ~path events) !flame;
+        if !profile then
+          prerr_string (Stats.Profile.render (Lazy.force summary));
+        if telemetry then
+          Option.iter
+            (fun store ->
+              let s = Lazy.force summary in
+              let record =
+                {
+                  Record.ts_ns = Telemetry.now_epoch_ns ();
+                  cmd = "bench";
+                  workload;
+                  replay = replay_mode_name ();
+                  geometry = "cache1+cache2";
+                  jobs;
+                  git = Telemetry.git_describe ();
+                  wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+                  phases =
+                    List.map
+                      (fun (r : Summary.span_row) ->
+                        (r.Summary.name, Summary.ms r.Summary.total_ns))
+                      s.Summary.spans;
+                  counters = s.Summary.counters;
+                  gauges = s.Summary.gauges;
+                }
+              in
+              ignore (Telemetry.publish store record))
+            (Store.default ()))
   end;
   match args with
   | [ "bechamel" ] -> bechamel ()

@@ -13,8 +13,14 @@ module Machine = Locality_cachesim.Machine
 module Stats = Locality_stats
 module Obs = Locality_obs.Obs
 module Chrome = Locality_obs.Chrome
+module Summary = Locality_obs.Summary
+module Openmetrics = Locality_obs.Openmetrics
+module Flame = Locality_obs.Flame
 module Driver = Locality_driver.Driver
 module Store = Locality_store.Store
+module Telemetry = Locality_telemetry.Telemetry
+module Record = Locality_telemetry.Record
+module Health = Locality_telemetry.Health
 open Locality_ir
 
 (* All loading and measuring goes through the Driver pipeline; the
@@ -86,19 +92,91 @@ let profile_arg =
           "Print a phase-timing and counter table to stderr after the run \
            (stdout stays byte-identical).")
 
-(* Tracing harness for the commands that take [--trace]/[--profile]:
-   enable recording around [f], then export. The trace goes to a file
-   and the profile to stderr so stdout is unchanged by either flag. *)
-let with_obs ~trace ~profile f =
-  if trace = None && not profile then f ()
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export aggregated metrics (counters, gauges, histograms, \
+           per-span totals) to FILE: OpenMetrics text, or JSON when FILE \
+           ends in .json. Naming is documented in doc/SCHEMA.md.")
+
+let flame_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame" ] ~docv:"FILE"
+        ~doc:
+          "Write span self times as collapsed stacks (flamegraph.pl / \
+           speedscope input) to FILE.")
+
+let replay_mode_name () =
+  match Sys.getenv_opt "MEMORIA_REPLAY" with
+  | Some "per-access" -> "per-access"
+  | Some "analytic" -> "analytic"
+  | _ -> "runs"
+
+(* Tracing harness for the commands that take
+   [--trace]/[--profile]/[--metrics]/[--flame]: enable recording around
+   [f], then export. Everything lands in files or on stderr so stdout
+   is unchanged by any of the flags. When telemetry is on
+   (MEMORIA_TELEMETRY=1 with a store), recording is enabled too and the
+   run's digest is published into the store's telemetry/ namespace,
+   keyed by [workload] so `memoria health` can compare like runs. *)
+let with_obs ~cmd ~workload ~geometry ~jobs ~trace ~profile ~metrics ~flame f =
+  let telemetry = Telemetry.enabled () in
+  if trace = None && (not profile) && metrics = None && flame = None
+     && not telemetry
+  then f ()
   else begin
+    let t0 = Unix.gettimeofday () in
     Obs.set_enabled true;
     Obs.reset ();
     let finish () =
+      (* Derived gauges are emitted here, while recording is still on,
+         so every exporter and the telemetry record see them. The store
+         counters come from the process-global atomics: bench's at_exit
+         summary runs after this drain, too late to observe. *)
+      (let c = Store.counters () in
+       let lookups = c.Store.hits + c.Store.misses in
+       if lookups > 0 then
+         Obs.gauge "store.hit_rate"
+           (float_of_int c.Store.hits /. float_of_int lookups));
       let events = Obs.drain () in
       Obs.set_enabled false;
+      let summary = lazy (Summary.of_events events) in
       Option.iter (fun path -> Chrome.write ~path events) trace;
-      if profile then prerr_string (Stats.Profile.of_events events)
+      Option.iter
+        (fun path -> Openmetrics.write ~path (Lazy.force summary))
+        metrics;
+      Option.iter (fun path -> Flame.write ~path events) flame;
+      if profile then prerr_string (Stats.Profile.render (Lazy.force summary));
+      if telemetry then
+        Option.iter
+          (fun store ->
+            let s = Lazy.force summary in
+            let record =
+              {
+                Record.ts_ns = Telemetry.now_epoch_ns ();
+                cmd;
+                workload;
+                replay = replay_mode_name ();
+                geometry;
+                jobs;
+                git = Telemetry.git_describe ();
+                wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+                phases =
+                  List.map
+                    (fun (r : Summary.span_row) ->
+                      (r.Summary.name, Summary.ms r.Summary.total_ns))
+                    s.Summary.spans;
+                counters = s.Summary.counters;
+                gauges = s.Summary.gauges;
+              }
+            in
+            ignore (Telemetry.publish store record))
+          (Store.default ())
     in
     Fun.protect ~finally:finish f
   end
@@ -317,8 +395,21 @@ let cgen_cmd =
     Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ opt_flag $ driver_flag)
 
 let sim_cmd =
-  let run file kernel cls n cache trace profile =
-    with_obs ~trace ~profile (fun () ->
+  let run file kernel cls n cache trace profile metrics flame =
+    let target =
+      match kernel with
+      | Some k -> k
+      | None -> (
+        match file with Some f -> Filename.basename f | None -> "-")
+    in
+    let workload =
+      Printf.sprintf "sim:%s:cls=%d:n=%s:cache=%s" target cls
+        (match n with Some v -> string_of_int v | None -> "-")
+        cache.Locality_cachesim.Cache.name
+    in
+    with_obs ~cmd:"sim" ~workload
+      ~geometry:cache.Locality_cachesim.Cache.name ~jobs:1 ~trace ~profile
+      ~metrics ~flame (fun () ->
         let src = or_die (source_of ~kernel ~file) in
         let r =
           or_die (Driver.run (Driver.config ?n ~cls ~machines:[ cache ] src))
@@ -342,22 +433,56 @@ let sim_cmd =
        ~doc:"Simulate cache behaviour of the original and optimized program.")
     Term.(
       const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ cache_arg
-      $ trace_arg $ profile_arg)
+      $ trace_arg $ profile_arg $ metrics_arg $ flame_arg)
 
 let explain_cmd =
-  let run file kernel cls n json interference_limit compare cache =
-    let src = or_die (source_of ~kernel ~file) in
-    let name, p = or_die (Driver.load ?n src) in
-    if compare then begin
-      let c = Stats.Compare.run ~config:cache ~name p in
-      if json then print_string (Stats.Compare.to_json c)
-      else print_string (Stats.Compare.render c)
-    end
-    else begin
-      let ex = Stats.Explain.run ~cls ?interference_limit ~name p in
-      if json then print_string (Stats.Explain.to_json ex)
-      else print_string (Stats.Explain.render ex)
-    end
+  let run file kernel cls n json interference_limit compare cache metrics =
+    let target =
+      match kernel with
+      | Some k -> k
+      | None -> (
+        match file with Some f -> Filename.basename f | None -> "-")
+    in
+    let workload =
+      Printf.sprintf "explain:%s:cls=%d:n=%s:%s" target cls
+        (match n with Some v -> string_of_int v | None -> "-")
+        (if compare then "compare:" ^ cache.Locality_cachesim.Cache.name
+         else "decisions")
+    in
+    with_obs ~cmd:"explain" ~workload
+      ~geometry:cache.Locality_cachesim.Cache.name ~jobs:1 ~trace:None
+      ~profile:false ~metrics ~flame:None (fun () ->
+        let src = or_die (source_of ~kernel ~file) in
+        let name, p = or_die (Driver.load ?n src) in
+        if compare then begin
+          let c = Stats.Compare.run ~config:cache ~name p in
+          (* Mean absolute error of the analytic model vs the simulator
+             (percentage points, per-unit mean) — the accuracy signal
+             `memoria health` watches for drift. *)
+          (if Obs.enabled () then
+             match c.Stats.Compare.c_verdict with
+             | `Compared (rows, whole) ->
+               let mean =
+                 match rows with
+                 | [] -> whole.Stats.Compare.r_abs_err
+                 | rows ->
+                   List.fold_left
+                     (fun acc r -> acc +. r.Stats.Compare.r_abs_err)
+                     0.0 rows
+                   /. float_of_int (List.length rows)
+               in
+               Obs.gauge "analytic.abs_err_mean" mean;
+               Obs.gauge "analytic.abs_err_whole"
+                 whole.Stats.Compare.r_abs_err
+             | `Fallback _ -> ());
+          if json then print_string (Stats.Compare.to_json c)
+          else print_string (Stats.Compare.render c)
+        end
+        else begin
+          let ex = Stats.Explain.run ~cls ?interference_limit ~name p in
+          if json then print_string (Stats.Explain.to_json ex)
+          else print_string (Stats.Explain.render ex)
+        end)
   in
   let json_arg =
     Arg.(
@@ -391,7 +516,7 @@ let explain_cmd =
           simulator instead.")
     Term.(
       const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ json_arg
-      $ interference_arg $ compare_arg $ cache_arg)
+      $ interference_arg $ compare_arg $ cache_arg $ metrics_arg)
 
 let unroll_cmd =
   let run file kernel n loop factor replace =
@@ -493,12 +618,14 @@ let kernels_cmd =
     Term.(const run $ const ())
 
 let suite_cmd =
-  let run cls n jobs trace profile =
+  let run cls n jobs trace profile metrics flame =
     let n = Option.value n ~default:64 in
     let module Pool = Locality_par.Pool in
     let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+    let workload = Printf.sprintf "suite:n=%d:cls=%d:jobs=%d" n cls jobs in
     let rows =
-      with_obs ~trace ~profile (fun () ->
+      with_obs ~cmd:"suite" ~workload ~geometry:"cache1+cache2" ~jobs ~trace
+        ~profile ~metrics ~flame (fun () ->
           Pool.map ~jobs
             (fun (name, _) ->
               Obs.span ("kernel:" ^ name) (fun () ->
@@ -551,7 +678,9 @@ let suite_cmd =
        ~doc:
          "Optimize and simulate every built-in kernel in parallel, printing \
           modelled speedups on both cache geometries.")
-    Term.(const run $ cls_arg $ n_arg $ jobs_arg $ trace_arg $ profile_arg)
+    Term.(
+      const run $ cls_arg $ n_arg $ jobs_arg $ trace_arg $ profile_arg
+      $ metrics_arg $ flame_arg)
 
 let store_cmd =
   let dir_arg =
@@ -571,32 +700,47 @@ let store_cmd =
         prerr_endline "memoria: no store (give --dir or set MEMORIA_STORE)";
         exit 1)
   in
+  (* Raw byte counts stay (scripts parse them); the human-readable form
+     rides alongside in parentheses. *)
+  let human_bytes n =
+    if n >= 1 lsl 20 then
+      Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.0)
+    else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+    else Printf.sprintf "%d B" n
+  in
+  let with_store_obs ~sub ~metrics f =
+    with_obs ~cmd:"store" ~workload:("store:" ^ sub) ~geometry:"-" ~jobs:1
+      ~trace:None ~profile:false ~metrics ~flame:None f
+  in
   let stats_cmd =
-    let run dir =
-      let s = get_store dir in
-      let d = Store.disk_stats s in
-      Printf.printf "root: %s\n" (Store.root s);
-      Printf.printf "entries: %d\n" d.Store.entries;
-      Printf.printf "bytes: %d\n" d.Store.bytes;
-      Printf.printf "quarantined: %d\n" d.Store.quarantined
+    let run dir metrics =
+      with_store_obs ~sub:"stats" ~metrics (fun () ->
+          let s = get_store dir in
+          let d = Store.disk_stats s in
+          Printf.printf "root: %s\n" (Store.root s);
+          Printf.printf "entries: %d\n" d.Store.entries;
+          Printf.printf "bytes: %d (%s)\n" d.Store.bytes
+            (human_bytes d.Store.bytes);
+          Printf.printf "quarantined: %d\n" d.Store.quarantined)
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Print entry count, total size and quarantine size.")
-      Term.(const run $ dir_arg)
+      Term.(const run $ dir_arg $ metrics_arg)
   in
   let verify_cmd =
-    let run dir =
-      let s = get_store dir in
-      let ok, bad = Store.verify s in
-      Printf.printf "ok: %d\nquarantined: %d\n" ok bad;
-      if bad > 0 then exit 1
+    let run dir metrics =
+      with_store_obs ~sub:"verify" ~metrics (fun () ->
+          let s = get_store dir in
+          let ok, bad = Store.verify s in
+          Printf.printf "ok: %d\nquarantined: %d\n" ok bad;
+          if bad > 0 then exit 1)
     in
     Cmd.v
       (Cmd.info "verify"
          ~doc:
            "Checksum every entry, quarantining damaged ones; exits non-zero \
             if any entry failed.")
-      Term.(const run $ dir_arg)
+      Term.(const run $ dir_arg $ metrics_arg)
   in
   let gc_cmd =
     let max_bytes_arg =
@@ -606,17 +750,19 @@ let store_cmd =
         & info [ "max-bytes" ] ~docv:"BYTES"
             ~doc:"Target store size; least-recently-used entries go first.")
     in
-    let run dir max_bytes =
-      let s = get_store dir in
-      let deleted, remaining = Store.gc s ~max_bytes in
-      Printf.printf "deleted: %d\nbytes: %d\n" deleted remaining
+    let run dir max_bytes metrics =
+      with_store_obs ~sub:"gc" ~metrics (fun () ->
+          let s = get_store dir in
+          let deleted, remaining = Store.gc s ~max_bytes in
+          Printf.printf "deleted: %d\nbytes: %d (%s)\n" deleted remaining
+            (human_bytes remaining))
     in
     Cmd.v
       (Cmd.info "gc"
          ~doc:
            "Empty the quarantine and evict least-recently-used entries until \
             the store fits in $(b,--max-bytes).")
-      Term.(const run $ dir_arg $ max_bytes_arg)
+      Term.(const run $ dir_arg $ max_bytes_arg $ metrics_arg)
   in
   Cmd.group
     (Cmd.info "store"
@@ -629,14 +775,19 @@ let store_cmd =
 
 let fuzz_cmd =
   let module Fuzz = Locality_fuzz in
-  let run seed count max_size oracles corpus jobs trace profile =
+  let run seed count max_size oracles corpus jobs trace profile metrics flame =
     let oracles =
       match oracles with
       | [] -> Fuzz.Oracle.all
       | names -> List.map (fun s -> or_die (Fuzz.Oracle.kind_of_string s)) names
     in
+    let workload =
+      Printf.sprintf "fuzz:seed=%d:count=%d:max-size=%d" seed count max_size
+    in
     let outcome =
-      with_obs ~trace ~profile (fun () ->
+      with_obs ~cmd:"fuzz" ~workload ~geometry:"-"
+        ~jobs:(Option.value jobs ~default:0) ~trace ~profile ~metrics ~flame
+        (fun () ->
           Obs.span "fuzz" (fun () ->
               Fuzz.Harness.run ?jobs ?corpus_dir:corpus ~seed ~count ~max_size
                 ~oracles ()))
@@ -720,7 +871,107 @@ let fuzz_cmd =
           disagreement.")
     Term.(
       const run $ seed_arg $ count_arg $ max_size_arg $ oracle_arg
-      $ corpus_arg $ jobs_arg $ trace_arg $ profile_arg)
+      $ corpus_arg $ jobs_arg $ trace_arg $ profile_arg $ metrics_arg
+      $ flame_arg)
+
+let health_cmd =
+  let run dir json window drift_pct noise_ms hit_drop fallback_rise abs_err =
+    let records =
+      match dir with
+      | Some d -> Telemetry.load_dir d
+      | None -> (
+        match Store.default () with
+        | Some s -> Telemetry.load s
+        | None ->
+          prerr_endline
+            "memoria: no telemetry history (set MEMORIA_STORE or give --dir)";
+          exit 1)
+    in
+    let thresholds =
+      {
+        Health.window;
+        phase_drift_pct = drift_pct;
+        phase_noise_ms = noise_ms;
+        hit_rate_drop = hit_drop;
+        fallback_rise;
+        abs_err_rise = abs_err;
+      }
+    in
+    let report = Health.run ~thresholds records in
+    if json then print_string (Health.to_json report)
+    else print_string (Health.render report);
+    if report.Health.flagged <> [] then exit 1
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Telemetry directory (default: the telemetry/ namespace under \
+             $(b,MEMORIA_STORE)).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int Health.default_thresholds.Health.window
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Prior runs per workload feeding the baseline median.")
+  in
+  let drift_arg =
+    Arg.(
+      value
+      & opt float Health.default_thresholds.Health.phase_drift_pct
+      & info [ "drift-pct" ] ~docv:"PCT"
+          ~doc:"Allowed wall/phase slowdown over baseline, in percent.")
+  in
+  let noise_arg =
+    Arg.(
+      value
+      & opt float Health.default_thresholds.Health.phase_noise_ms
+      & info [ "noise-ms" ] ~docv:"MS"
+          ~doc:"Absolute noise floor: smaller time drifts never flag.")
+  in
+  let hit_drop_arg =
+    Arg.(
+      value
+      & opt float Health.default_thresholds.Health.hit_rate_drop
+      & info [ "hit-rate-drop" ] ~docv:"RATE"
+          ~doc:"Allowed warm store hit-rate drop (absolute, 0-1).")
+  in
+  let fallback_arg =
+    Arg.(
+      value
+      & opt float Health.default_thresholds.Health.fallback_rise
+      & info [ "fallback-rise" ] ~docv:"RATE"
+          ~doc:"Allowed analytic fallback-rate rise (absolute, 0-1).")
+  in
+  let abs_err_arg =
+    Arg.(
+      value
+      & opt float Health.default_thresholds.Health.abs_err_rise
+      & info [ "abs-err-rise" ] ~docv:"PTS"
+          ~doc:
+            "Allowed rise of the analytic model's mean absolute error \
+             (percentage points, from $(b,explain --compare)).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Read the persisted run telemetry (see $(b,MEMORIA_TELEMETRY)) and \
+          compare each workload's newest run against its rolling baseline \
+          (median of the previous runs with the same workload key). Flags \
+          wall/phase slowdowns, warm store hit-rate drops, analytic \
+          fallback-rate rises and analytic accuracy drift; exits non-zero \
+          when anything is flagged.")
+    Term.(
+      const run $ dir_arg $ json_arg $ window_arg $ drift_arg $ noise_arg
+      $ hit_drop_arg $ fallback_arg $ abs_err_arg)
 
 let main =
   Cmd.group
@@ -750,10 +1001,17 @@ let main =
                 set, trace captures and simulation results are reused \
                 across runs (byte-identical output); unset disables \
                 caching. See $(b,memoria store).";
+           Cmd.Env.info "MEMORIA_TELEMETRY"
+             ~doc:
+               "Set to $(b,1) (with $(b,MEMORIA_STORE) configured) to record \
+                one telemetry JSON record per invocation under the store's \
+                telemetry/ namespace: phase times, store and analytic \
+                counters, replay mode and geometry. $(b,memoria health) \
+                compares the history. Any other value disables recording.";
          ])
     [
       opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
-      cgen_cmd; kernels_cmd; suite_cmd; fuzz_cmd; store_cmd;
+      cgen_cmd; kernels_cmd; suite_cmd; fuzz_cmd; store_cmd; health_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -154,8 +154,9 @@ let run_loaded cfg name program =
       (transformed, None, optimized_labels)
     | Compound { try_reversal; interference_limit } ->
       let p', stats =
-        compound_cached ~store:cfg.store ~cls:cfg.cls ~try_reversal
-          ~interference_limit program
+        Obs.span "optimize" (fun () ->
+            compound_cached ~store:cfg.store ~cls:cfg.cls ~try_reversal
+              ~interference_limit program)
       in
       let labels =
         List.concat_map
@@ -186,12 +187,14 @@ let run_loaded cfg name program =
           in
           let o = replay orig in
           let f = if final == orig then o else replay final in
-          {
-            machine;
-            original_run = o;
-            transformed_run = f;
-            speedup = o.Measure.cycles /. f.Measure.cycles;
-          })
+          let speedup = o.Measure.cycles /. f.Measure.cycles in
+          (* Milli-units: histograms take ints, and log2 buckets on raw
+             ratios would collapse every speedup below 2x into one
+             bucket. *)
+          if Obs.enabled () then
+            Obs.histogram "driver.speedup_milli"
+              (int_of_float (speedup *. 1000.0));
+          { machine; original_run = o; transformed_run = f; speedup })
         cfg.machines
     end
   in

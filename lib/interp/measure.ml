@@ -121,7 +121,8 @@ let interpret_capture ~mode ?params ~cap_key (p : Program.t) =
         if Obs.enabled () then begin
           Obs.add_span_arg "format" "v1";
           Obs.add_span_arg "records" (string_of_int t.Trace.records);
-          Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops)
+          Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops);
+          Obs.histogram "capture.records" t.Trace.records
         end;
         { trace = V1 t; cap_ops = res.Fastexec.ops; cap_key }
       | Runs | Analytic ->
@@ -137,7 +138,8 @@ let interpret_capture ~mode ?params ~cap_key (p : Program.t) =
           Obs.add_span_arg "ops" (string_of_int res.Fastexec.ops);
           Obs.counter "trace.runs_emitted" t.Trace.run_groups;
           Obs.counter "trace.records_compressed"
-            (t.Trace.run_records - t.Trace.run_stream_words)
+            (t.Trace.run_records - t.Trace.run_stream_words);
+          Obs.histogram "capture.records" t.Trace.run_records
         end;
         { trace = V2 t; cap_ops = res.Fastexec.ops; cap_key })
 
@@ -185,6 +187,7 @@ let replay_compute ~config ~timing ~optimized_labels cap =
     Obs.counter "cache.hits" s.Cache.hits;
     Obs.counter "cache.cold" s.Cache.cold_misses;
     Obs.counter "chunks.replayed" !chunks;
+    Obs.histogram "replay.accesses" s.Cache.accesses;
     if metrics.Cache.m_groups > 0 || metrics.Cache.m_fallbacks > 0 then begin
       Obs.add_span_arg "run_groups" (string_of_int metrics.Cache.m_groups);
       Obs.add_span_arg "boundary_events"

@@ -42,6 +42,27 @@ let event_json ~origin (e : Event.t) =
          @ common
          @ [ ("args", args_json e.Event.ctx i.args) ]))
   | Event.Counter _ -> None (* rendered with running totals below *)
+  | Event.Hist h ->
+    Some
+      (obj
+         ([
+            ("name", str h.name);
+            ("ph", str "i");
+            ("s", str "t");
+            ("ts", us_of_ns ~origin e.Event.ts_ns);
+          ]
+         @ common
+         @ [ ("args", obj [ ("value", string_of_int h.value) ]) ]))
+  | Event.Gauge g ->
+    Some
+      (obj
+         [
+           ("name", str g.name);
+           ("ph", str "C");
+           ("ts", us_of_ns ~origin e.Event.ts_ns);
+           ("pid", "0");
+           ("args", obj [ ("value", Printf.sprintf "%g" g.value) ]);
+         ])
   | Event.Decision d ->
     Some
       (obj

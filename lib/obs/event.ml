@@ -22,9 +22,18 @@ type decision = {
 }
 
 type payload =
-  | Span of { name : string; begin_ns : int64; dur_ns : int64; args : args }
+  | Span of {
+      name : string;
+      begin_ns : int64;
+      dur_ns : int64;
+      self_ns : int64;
+      stack : string list;
+      args : args;
+    }
   | Instant of { name : string; args : args }
   | Counter of { name : string; delta : int }
+  | Hist of { name : string; value : int }
+  | Gauge of { name : string; value : float }
   | Decision of decision
 
 type t = {
@@ -36,7 +45,9 @@ type t = {
 
 (* Timestamp-, duration- and domain-free rendering: the determinism key
    two runs of the same workload must agree on, whatever the pool size
-   or machine speed (the test suite compares these). *)
+   or machine speed (the test suite compares these). A span's stack is
+   excluded too: with MEMORIA_JOBS=1 the pool runs items inline, so a
+   caller's open span is an ancestor it would not be on a worker. *)
 let fingerprint (e : t) =
   let args a =
     String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) a)
@@ -46,6 +57,8 @@ let fingerprint (e : t) =
     | Span s -> Printf.sprintf "span:%s{%s}" s.name (args s.args)
     | Instant i -> Printf.sprintf "instant:%s{%s}" i.name (args i.args)
     | Counter c -> Printf.sprintf "counter:%s%+d" c.name c.delta
+    | Hist h -> Printf.sprintf "hist:%s=%d" h.name h.value
+    | Gauge g -> Printf.sprintf "gauge:%s=%g" g.name g.value
     | Decision d ->
       Printf.sprintf "decision:%s:%s:%s[%s]" d.nest
         (action_to_string d.action)

@@ -32,9 +32,24 @@ type decision = {
     action, why, and the LoopCost evidence. *)
 
 type payload =
-  | Span of { name : string; begin_ns : int64; dur_ns : int64; args : args }
+  | Span of {
+      name : string;
+      begin_ns : int64;
+      dur_ns : int64;
+      self_ns : int64;
+          (** duration minus the summed durations of direct child spans
+              closed on the same domain — the span's own work *)
+      stack : string list;
+          (** names of the enclosing open spans on this domain at open
+              time, outermost first (the collapsed-stack path) *)
+      args : args;
+    }
   | Instant of { name : string; args : args }
   | Counter of { name : string; delta : int }
+  | Hist of { name : string; value : int }
+      (** one observation of the named log2-bucketed histogram *)
+  | Gauge of { name : string; value : float }
+      (** point-in-time level; aggregation keeps the last write *)
   | Decision of decision
 
 type t = {

@@ -1,0 +1,31 @@
+(* Collapsed-stack export: one "a;b;c weight" line per unique span
+   stack, weighted by summed self time in nanoseconds — the input
+   format of flamegraph.pl and speedscope. Using self time (not
+   duration) keeps a frame's width equal to its own work, with child
+   work appearing in the child frames, so the totals add up instead of
+   double-counting nesting. Lines are sorted lexicographically: the
+   output is deterministic and diff-friendly. *)
+
+let to_string (events : Event.t list) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Span s ->
+        let key = String.concat ";" (s.stack @ [ s.name ]) in
+        let prev =
+          match Hashtbl.find_opt tbl key with Some w -> w | None -> 0L
+        in
+        Hashtbl.replace tbl key (Int64.add prev s.self_ns)
+      | _ -> ())
+    events;
+  let rows = Hashtbl.fold (fun k w acc -> (k, w) :: acc) tbl [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  String.concat ""
+    (List.map (fun (k, w) -> Printf.sprintf "%s %Ld\n" k w) rows)
+
+let write ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string events))

@@ -15,7 +15,9 @@ let set_enabled v = Atomic.set enabled_flag v
 type span_frame = {
   sname : string;
   sbegin : int64;
+  sstack : string list;  (* enclosing span names, outermost first *)
   mutable sargs : Event.args;
+  mutable schild_ns : int64;  (* summed durations of direct children *)
 }
 
 type state = {
@@ -47,6 +49,16 @@ let counter name delta =
     let st = Domain.DLS.get key in
     emit st (Event.Counter { name; delta })
 
+let histogram name value =
+  if enabled () then
+    let st = Domain.DLS.get key in
+    emit st (Event.Hist { name; value })
+
+let gauge name value =
+  if enabled () then
+    let st = Domain.DLS.get key in
+    emit st (Event.Gauge { name; value })
+
 let decision d =
   if enabled () then
     let st = Domain.DLS.get key in
@@ -56,22 +68,34 @@ let span ?(args = []) name f =
   if not (enabled ()) then f ()
   else begin
     let st = Domain.DLS.get key in
-    let frame = { sname = name; sbegin = now_ns (); sargs = args } in
+    let stack = List.rev_map (fun fr -> fr.sname) st.open_spans in
+    let frame =
+      { sname = name; sbegin = now_ns (); sstack = stack; sargs = args;
+        schild_ns = 0L }
+    in
     st.open_spans <- frame :: st.open_spans;
     Fun.protect
       ~finally:(fun () ->
         (* Close the span even when [f] raises, so traces of failed runs
            still nest properly. *)
-        (match st.open_spans with
-        | top :: rest when top == frame -> st.open_spans <- rest
-        | _ -> ());
         let dur = Int64.sub (now_ns ()) frame.sbegin in
+        (match st.open_spans with
+        | top :: rest when top == frame ->
+          st.open_spans <- rest;
+          (* Charge the parent so its eventual self time excludes us. *)
+          (match rest with
+          | parent :: _ -> parent.schild_ns <- Int64.add parent.schild_ns dur
+          | [] -> ())
+        | _ -> ());
+        let self = Int64.sub dur frame.schild_ns in
         emit st
           (Event.Span
              {
                name = frame.sname;
                begin_ns = frame.sbegin;
                dur_ns = dur;
+               self_ns = (if Int64.compare self 0L < 0 then 0L else self);
+               stack = frame.sstack;
                args = List.rev frame.sargs;
              }))
       f

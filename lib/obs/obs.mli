@@ -38,6 +38,16 @@ val counter : string -> int -> unit
     {!Summary.of_events} totals deltas, the Chrome exporter renders a
     running counter track. *)
 
+val histogram : string -> int -> unit
+(** [histogram name value] records one observation of the named
+    histogram. {!Summary.of_events} folds observations into log2
+    buckets ({!Hist}); the merged bucket counts are deterministic at
+    any [MEMORIA_JOBS] value because the event stream is. *)
+
+val gauge : string -> float -> unit
+(** [gauge name value] sets the named level; aggregation keeps the last
+    write in merged-stream order. *)
+
 val decision : Event.decision -> unit
 (** Record a compound-transformation decision. Callers should guard the
     construction of the record behind {!enabled} — building the strings

@@ -1,0 +1,143 @@
+(* Metrics exporter for the --metrics flag: the aggregated Summary in
+   OpenMetrics text format (Prometheus-compatible) or, when the target
+   path ends in ".json", the same data as one JSON document. Naming is
+   part of the CLI contract and documented in doc/SCHEMA.md: every
+   metric is prefixed "memoria_", dots and other non-alphanumerics in
+   event names become underscores, and span rows are exported under
+   fixed metric families with the span name as a label. *)
+
+let prefix = "memoria_"
+
+let sanitize name =
+  let buf = Buffer.create (String.length name + String.length prefix) in
+  Buffer.add_string buf prefix;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let float_repr v =
+  (* Shortest representation that is still a valid OpenMetrics float;
+     %g never emits a bare "nan"/"inf" for the finite values we record. *)
+  let s = Printf.sprintf "%g" v in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+  then s
+  else s ^ ".0"
+
+let label_escape s = Json.escape s
+
+let to_text (s : Summary.t) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "# TYPE %sevents counter" prefix;
+  line "%sevents_total %d" prefix s.events;
+  List.iter
+    (fun (name, total) ->
+      let m = sanitize name in
+      line "# TYPE %s counter" m;
+      line "%s_total %d" m total)
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      let m = sanitize name in
+      line "# TYPE %s gauge" m;
+      line "%s %s" m (float_repr v))
+    s.gauges;
+  List.iter
+    (fun (name, (h : Hist.t)) ->
+      let m = sanitize name in
+      line "# TYPE %s histogram" m;
+      List.iter
+        (fun (le, cum) -> line "%s_bucket{le=\"%d\"} %d" m le cum)
+        (Hist.cumulative h);
+      line "%s_bucket{le=\"+Inf\"} %d" m h.Hist.count;
+      line "%s_sum %d" m h.Hist.sum;
+      line "%s_count %d" m h.Hist.count)
+    s.histograms;
+  if s.spans <> [] then begin
+    line "# TYPE %sspan_count counter" prefix;
+    List.iter
+      (fun (r : Summary.span_row) ->
+        line "%sspan_count_total{span=\"%s\"} %d" prefix
+          (label_escape r.name) r.count)
+      s.spans;
+    line "# TYPE %sspan_ns counter" prefix;
+    List.iter
+      (fun (r : Summary.span_row) ->
+        line "%sspan_ns_total{span=\"%s\"} %Ld" prefix (label_escape r.name)
+          r.total_ns)
+      s.spans;
+    line "# TYPE %sspan_self_ns counter" prefix;
+    List.iter
+      (fun (r : Summary.span_row) ->
+        line "%sspan_self_ns_total{span=\"%s\"} %Ld" prefix
+          (label_escape r.name) r.self_ns)
+      s.spans;
+    line "# TYPE %sspan_min_ns gauge" prefix;
+    List.iter
+      (fun (r : Summary.span_row) ->
+        line "%sspan_min_ns{span=\"%s\"} %Ld" prefix (label_escape r.name)
+          r.min_ns)
+      s.spans;
+    line "# TYPE %sspan_max_ns gauge" prefix;
+    List.iter
+      (fun (r : Summary.span_row) ->
+        line "%sspan_max_ns{span=\"%s\"} %Ld" prefix (label_escape r.name)
+          r.max_ns)
+      s.spans
+  end;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let to_json (s : Summary.t) =
+  let open Json in
+  let span_json (r : Summary.span_row) =
+    obj
+      [
+        ("name", str r.name);
+        ("count", int r.count);
+        ("total_ns", Printf.sprintf "%Ld" r.total_ns);
+        ("self_ns", Printf.sprintf "%Ld" r.self_ns);
+        ("min_ns", Printf.sprintf "%Ld" r.min_ns);
+        ("max_ns", Printf.sprintf "%Ld" r.max_ns);
+      ]
+  in
+  let hist_json (name, (h : Hist.t)) =
+    obj
+      [
+        ("name", str name);
+        ("count", int h.Hist.count);
+        ("sum", int h.Hist.sum);
+        ("min", int (if h.Hist.count = 0 then 0 else h.Hist.min));
+        ("max", int (if h.Hist.count = 0 then 0 else h.Hist.max));
+        ( "buckets",
+          list
+            (List.map
+               (fun (le, cum) -> obj [ ("le", int le); ("count", int cum) ])
+               (Hist.cumulative h)) );
+      ]
+  in
+  versioned
+    [
+      ("events", int s.events);
+      ( "counters",
+        obj (List.map (fun (n, v) -> (n, int v)) s.counters) );
+      ( "gauges",
+        obj (List.map (fun (n, v) -> (n, float_repr v)) s.gauges) );
+      ("histograms", list (List.map hist_json s.histograms));
+      ("spans", list (List.map span_json s.spans));
+    ]
+  ^ "\n"
+
+let write ~path summary =
+  let content =
+    if Filename.check_suffix path ".json" then to_json summary
+    else to_text summary
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,20 @@
+(** Metrics exporter behind the [--metrics FILE] flag.
+
+    Renders an aggregated {!Summary.t} as OpenMetrics text (counters,
+    gauges, log2-bucket histograms, per-span totals labelled by span
+    name) or, when the path ends in [.json], as a single JSON document.
+    Metric naming is a stable contract documented in [doc/SCHEMA.md]. *)
+
+val sanitize : string -> string
+(** Event name to metric name: ["memoria_"] prefix, non-alphanumerics
+    replaced by ['_']. *)
+
+val to_text : Summary.t -> string
+(** OpenMetrics text exposition, terminated by [# EOF]. *)
+
+val to_json : Summary.t -> string
+(** The same data as one schema-versioned JSON object. *)
+
+val write : path:string -> Summary.t -> unit
+(** Write to [path]; format chosen by extension ([.json] → JSON,
+    anything else → OpenMetrics text). *)

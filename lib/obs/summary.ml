@@ -2,24 +2,34 @@ type span_row = {
   name : string;
   count : int;
   total_ns : int64;
+  self_ns : int64;
+  min_ns : int64;
   max_ns : int64;
 }
 
 type t = {
   spans : span_row list;
   counters : (string * int) list;
+  histograms : (string * Hist.t) list;
+  gauges : (string * float) list;
   decisions : Event.decision list;
   events : int;
 }
 
 (* First-occurrence order keeps the report deterministic without
-   depending on hash-table iteration order. *)
+   depending on hash-table iteration order. One pass over the stream:
+   the event total is counted alongside the aggregation rather than by
+   a separate List.length walk. *)
 let of_events (events : Event.t list) =
   let span_tbl = Hashtbl.create 16 and span_order = ref [] in
   let ctr_tbl = Hashtbl.create 16 and ctr_order = ref [] in
+  let hist_tbl = Hashtbl.create 16 and hist_order = ref [] in
+  let gauge_tbl = Hashtbl.create 16 and gauge_order = ref [] in
   let decisions = ref [] in
+  let n_events = ref 0 in
   List.iter
     (fun (e : Event.t) ->
+      incr n_events;
       match e.Event.payload with
       | Event.Span s ->
         let row =
@@ -27,13 +37,18 @@ let of_events (events : Event.t list) =
           | Some r -> r
           | None ->
             span_order := s.name :: !span_order;
-            { name = s.name; count = 0; total_ns = 0L; max_ns = 0L }
+            { name = s.name; count = 0; total_ns = 0L; self_ns = 0L;
+              min_ns = Int64.max_int; max_ns = 0L }
         in
         Hashtbl.replace span_tbl s.name
           {
             row with
             count = row.count + 1;
             total_ns = Int64.add row.total_ns s.dur_ns;
+            self_ns = Int64.add row.self_ns s.self_ns;
+            min_ns =
+              (if Int64.compare s.dur_ns row.min_ns < 0 then s.dur_ns
+               else row.min_ns);
             max_ns =
               (if Int64.compare s.dur_ns row.max_ns > 0 then s.dur_ns
                else row.max_ns);
@@ -44,6 +59,23 @@ let of_events (events : Event.t list) =
         | None ->
           ctr_order := c.name :: !ctr_order;
           Hashtbl.add ctr_tbl c.name c.delta)
+      | Event.Hist h ->
+        let hist =
+          match Hashtbl.find_opt hist_tbl h.name with
+          | Some t -> t
+          | None ->
+            hist_order := h.name :: !hist_order;
+            let t = Hist.create () in
+            Hashtbl.add hist_tbl h.name t;
+            t
+        in
+        Hist.observe hist h.value
+      | Event.Gauge g ->
+        (* Last write in merged-stream order wins; the stream order is
+           deterministic, so so is the surviving value. *)
+        if not (Hashtbl.mem gauge_tbl g.name) then
+          gauge_order := g.name :: !gauge_order;
+        Hashtbl.replace gauge_tbl g.name g.value
       | Event.Decision d -> decisions := d :: !decisions
       | Event.Instant _ -> ())
     events;
@@ -52,8 +84,24 @@ let of_events (events : Event.t list) =
       List.rev_map (fun name -> Hashtbl.find span_tbl name) !span_order;
     counters =
       List.rev_map (fun name -> (name, Hashtbl.find ctr_tbl name)) !ctr_order;
+    histograms =
+      List.rev_map (fun name -> (name, Hashtbl.find hist_tbl name)) !hist_order;
+    gauges =
+      List.rev_map (fun name -> (name, Hashtbl.find gauge_tbl name))
+        !gauge_order;
     decisions = List.rev !decisions;
-    events = List.length events;
+    events = !n_events;
   }
 
 let ms ns = Int64.to_float ns /. 1e6
+
+(* Per-span self time, largest first — the flat view of where wall
+   clock actually went (totals double-count nested spans; self times
+   sum to the traced wall clock). Ties break by name so the table is
+   stable across runs. *)
+let self_ranking t =
+  List.stable_sort
+    (fun a b ->
+      let c = Int64.compare b.self_ns a.self_ns in
+      if c <> 0 then c else String.compare a.name b.name)
+    t.spans

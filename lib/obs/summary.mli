@@ -1,21 +1,36 @@
-(** Aggregation of an event stream into per-span totals, counter sums
-    and the decision list — the data behind the [--profile] table. *)
+(** Aggregation of an event stream into per-span totals, counter sums,
+    histogram buckets, gauge levels and the decision list — the data
+    behind the [--profile] table and the metrics exporters. *)
 
 type span_row = {
   name : string;
   count : int;
   total_ns : int64;
-  max_ns : int64;
+  self_ns : int64;
+      (** summed self time (duration minus direct children) *)
+  min_ns : int64;  (** fastest single occurrence *)
+  max_ns : int64;  (** slowest single occurrence *)
 }
 
 type t = {
   spans : span_row list;  (** in first-occurrence order *)
   counters : (string * int) list;  (** summed deltas, first-occurrence order *)
+  histograms : (string * Hist.t) list;
+      (** folded observations, first-occurrence order *)
+  gauges : (string * float) list;
+      (** last written value, first-occurrence order *)
   decisions : Event.decision list;  (** in recording order *)
   events : int;  (** total events seen *)
 }
 
 val of_events : Event.t list -> t
+(** Single pass over the stream; the event total is counted during
+    aggregation. *)
+
+val self_ranking : t -> span_row list
+(** Spans sorted by self time, largest first (ties by name) — the flat
+    profile view. Self times sum to traced wall clock; totals
+    double-count nesting. *)
 
 val ms : int64 -> float
 (** Nanoseconds to milliseconds. *)

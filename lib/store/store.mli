@@ -91,6 +91,21 @@ val get_value : t -> key -> 'a option
 val object_path : t -> key -> string
 (** Where the entry lives (exposed for the store tooling and tests). *)
 
+(** {1 Filesystem helpers}
+
+    Shared with the telemetry sink, which lives in its own namespace
+    under the store root and wants the same durability discipline. *)
+
+val mkdir_p : string -> unit
+(** Create the directory and any missing parents (0755); racing
+    creators are fine. *)
+
+val atomic_write : path:string -> string -> bool
+(** Write the content to a unique temp file in the target directory,
+    then [Sys.rename] into place — readers see either nothing or the
+    whole file. Returns [false] (leaving no partial file behind) on any
+    I/O error instead of raising. *)
+
 (** {1 Counters} *)
 
 type counters = {

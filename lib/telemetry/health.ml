@@ -1,0 +1,220 @@
+(* The regression gate behind `memoria health`: compare the newest
+   telemetry record of each workload against a rolling baseline (median
+   of the previous N runs of the same workload key) and flag drifts
+   that exceed the thresholds. Pure record-list -> report; loading and
+   exit codes belong to the CLI. *)
+
+module Json = Locality_obs.Json
+
+type thresholds = {
+  window : int;  (* how many prior runs feed the baseline median *)
+  phase_drift_pct : float;  (* phase/wall slowdown allowed, percent *)
+  phase_noise_ms : float;  (* absolute slack under which drift is noise *)
+  hit_rate_drop : float;  (* allowed warm hit-rate drop, absolute *)
+  fallback_rise : float;  (* allowed analytic fallback-rate rise *)
+  abs_err_rise : float;  (* allowed analytic abs-error rise *)
+}
+
+let default_thresholds =
+  {
+    window = 5;
+    phase_drift_pct = 50.0;
+    phase_noise_ms = 50.0;
+    hit_rate_drop = 0.10;
+    fallback_rise = 0.10;
+    abs_err_rise = 0.01;
+  }
+
+type check = {
+  workload : string;
+  metric : string;
+  baseline : float;
+  latest : float;
+  flagged : bool;
+  detail : string;  (* human-readable threshold explanation *)
+}
+
+type report = {
+  records : int;
+  workloads : int;
+  checks : check list;
+  flagged : check list;
+}
+
+let median = function
+  | [] -> None
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    Some
+      (if n mod 2 = 1 then a.(n / 2)
+       else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0)
+
+(* Group records by workload key, preserving first-occurrence order of
+   the keys and record order within each group (input is oldest
+   first). *)
+let group_by_workload records =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun (r : Record.t) ->
+      match Hashtbl.find_opt tbl r.Record.workload with
+      | Some rs -> Hashtbl.replace tbl r.Record.workload (r :: rs)
+      | None ->
+        order := r.Record.workload :: !order;
+        Hashtbl.add tbl r.Record.workload [ r ])
+    records;
+  List.rev_map
+    (fun w -> (w, List.rev (Hashtbl.find tbl w)))
+    !order
+  |> List.rev
+
+let last_n n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let check_workload th workload history (latest : Record.t) =
+  let checks = ref [] in
+  let add metric ~baseline ~latest ~flagged detail =
+    checks := { workload; metric; baseline; latest; flagged; detail } :: !checks
+  in
+  (* Slowdowns: wall clock and each phase, against the baseline median.
+     Both gates must trip — a relative drift bound plus an absolute
+     noise floor so microsecond phases can't flag on scheduler jitter. *)
+  let time_check metric ~baseline ~now =
+    let limit = baseline *. (1.0 +. (th.phase_drift_pct /. 100.0)) in
+    let flagged = now > limit && now -. baseline > th.phase_noise_ms in
+    add metric ~baseline ~latest:now ~flagged
+      (Printf.sprintf "%.1fms vs median %.1fms (limit +%.0f%% and +%.0fms)"
+         now baseline th.phase_drift_pct th.phase_noise_ms)
+  in
+  (match
+     median (List.map (fun (r : Record.t) -> r.Record.wall_ms) history)
+   with
+  | Some base -> time_check "wall_ms" ~baseline:base ~now:latest.Record.wall_ms
+  | None -> ());
+  List.iter
+    (fun (phase, now) ->
+      match
+        median (List.filter_map (fun r -> Record.phase_ms r phase) history)
+      with
+      | Some base -> time_check ("phase:" ^ phase) ~baseline:base ~now
+      | None -> ())
+    latest.Record.phases;
+  (* Warm-store effectiveness: a hit-rate drop beyond the threshold
+     means caching broke (key churn, store misconfiguration). *)
+  (match
+     ( median (List.filter_map Record.hit_rate history),
+       Record.hit_rate latest )
+   with
+  | Some base, Some now ->
+    add "store.hit_rate" ~baseline:base ~latest:now
+      ~flagged:(base -. now > th.hit_rate_drop)
+      (Printf.sprintf "%.3f vs median %.3f (allowed drop %.2f)" now base
+         th.hit_rate_drop)
+  | _ -> ());
+  (* Analytic coverage: more nests falling back to simulation means the
+     closed-form model regressed. *)
+  (match
+     ( median (List.filter_map Record.fallback_rate history),
+       Record.fallback_rate latest )
+   with
+  | Some base, Some now ->
+    add "analytic.fallback_rate" ~baseline:base ~latest:now
+      ~flagged:(now -. base > th.fallback_rise)
+      (Printf.sprintf "%.3f vs median %.3f (allowed rise %.2f)" now base
+         th.fallback_rise)
+  | _ -> ());
+  (* Analytic accuracy: mean absolute error from explain --compare. *)
+  (match
+     ( median
+         (List.filter_map (fun r -> Record.gauge r "analytic.abs_err_mean")
+            history),
+       Record.gauge latest "analytic.abs_err_mean" )
+   with
+  | Some base, Some now ->
+    add "analytic.abs_err_mean" ~baseline:base ~latest:now
+      ~flagged:(now -. base > th.abs_err_rise)
+      (Printf.sprintf "%.4f vs median %.4f (allowed rise %.3f)" now base
+         th.abs_err_rise)
+  | _ -> ());
+  List.rev !checks
+
+let run ?(thresholds = default_thresholds) records =
+  let groups = group_by_workload records in
+  let checks =
+    List.concat_map
+      (fun (workload, rs) ->
+        match List.rev rs with
+        | [] | [ _ ] -> []  (* nothing to compare against *)
+        | latest :: prev_rev ->
+          let history = last_n thresholds.window (List.rev prev_rev) in
+          check_workload thresholds workload history latest)
+      groups
+  in
+  {
+    records = List.length records;
+    workloads = List.length groups;
+    checks;
+    flagged = List.filter (fun (c : check) -> c.flagged) checks;
+  }
+
+let render r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "Health: %d record%s, %d workload%s\n" r.records
+    (if r.records = 1 then "" else "s")
+    r.workloads
+    (if r.workloads = 1 then "" else "s");
+  if r.checks = [] then
+    Buffer.add_string b
+      "  no comparable history (need two runs of the same workload)\n"
+  else begin
+    let by_workload = Hashtbl.create 8 and order = ref [] in
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt by_workload c.workload with
+        | Some cs -> Hashtbl.replace by_workload c.workload (c :: cs)
+        | None ->
+          order := c.workload :: !order;
+          Hashtbl.add by_workload c.workload [ c ])
+      r.checks;
+    List.iter
+      (fun w ->
+        Printf.bprintf b "  %s\n" w;
+        List.iter
+          (fun (c : check) ->
+            Printf.bprintf b "    %s %-28s %s\n"
+              (if c.flagged then "FLAG" else "ok  ")
+              c.metric c.detail)
+          (List.rev (Hashtbl.find by_workload w)))
+      (List.rev !order)
+  end;
+  (match r.flagged with
+  | [] -> Buffer.add_string b "health: OK\n"
+  | fs ->
+    Printf.bprintf b "health: %d regression%s flagged (%s)\n" (List.length fs)
+      (if List.length fs = 1 then "" else "s")
+      (String.concat ", "
+         (List.map (fun c -> c.workload ^ "/" ^ c.metric) fs)));
+  Buffer.contents b
+
+let to_json r =
+  let check_json c =
+    Json.obj
+      [
+        ("workload", Json.str c.workload);
+        ("metric", Json.str c.metric);
+        ("baseline", Printf.sprintf "%.6f" c.baseline);
+        ("latest", Printf.sprintf "%.6f" c.latest);
+        ("flagged", (if c.flagged then "true" else "false"));
+        ("detail", Json.str c.detail);
+      ]
+  in
+  Json.versioned
+    [
+      ("records", Json.int r.records);
+      ("workloads", Json.int r.workloads);
+      ("checks", Json.list (List.map check_json r.checks));
+      ("flagged", Json.int (List.length r.flagged));
+    ]
+  ^ "\n"

@@ -1,0 +1,50 @@
+(** The regression gate behind [memoria health].
+
+    Compares the newest telemetry {!Record} of each workload key
+    against a rolling baseline — the median of the previous [window]
+    runs with the same key — and flags wall/phase slowdowns, warm
+    hit-rate drops, analytic fallback-rate rises and analytic
+    abs-error rises beyond the thresholds. Pure; loading records and
+    turning flags into exit codes is the CLI's job. *)
+
+type thresholds = {
+  window : int;  (** prior runs feeding the baseline median *)
+  phase_drift_pct : float;
+      (** allowed phase/wall slowdown, percent over baseline *)
+  phase_noise_ms : float;
+      (** absolute slack — drifts smaller than this are noise *)
+  hit_rate_drop : float;  (** allowed warm hit-rate drop (absolute) *)
+  fallback_rise : float;  (** allowed analytic fallback-rate rise *)
+  abs_err_rise : float;  (** allowed analytic mean-abs-error rise *)
+}
+
+val default_thresholds : thresholds
+(** window 5, drift 50% with 50ms floor, hit-rate drop 0.10, fallback
+    rise 0.10, abs-error rise 0.01. *)
+
+type check = {
+  workload : string;
+  metric : string;
+  baseline : float;
+  latest : float;
+  flagged : bool;
+  detail : string;  (** human-readable comparison with thresholds *)
+}
+
+type report = {
+  records : int;  (** records considered *)
+  workloads : int;  (** distinct workload keys *)
+  checks : check list;  (** every comparison made *)
+  flagged : check list;  (** the subset that tripped a threshold *)
+}
+
+val run : ?thresholds:thresholds -> Record.t list -> report
+(** Records must be oldest-first (as {!Telemetry.load} returns them).
+    Workloads with fewer than two records produce no checks. *)
+
+val render : report -> string
+(** Human-readable report; last line is [health: OK] or a summary of
+    flagged regressions. *)
+
+val to_json : report -> string
+(** Schema-versioned JSON for [memoria health --json]. *)

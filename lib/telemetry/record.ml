@@ -1,0 +1,121 @@
+(* One per-invocation telemetry record: the durable, schema-versioned
+   digest of a run that `memoria health` compares against history.
+   Records are plain data — building one never touches the filesystem;
+   Telemetry.publish decides whether and where it lands. *)
+
+module Json = Locality_obs.Json
+
+(* Bump when a field changes meaning or type; Health refuses to compare
+   across versions and the loader skips records it cannot read. *)
+let schema_version = 1
+
+type t = {
+  ts_ns : int64;  (* wall-clock epoch, nanoseconds *)
+  cmd : string;
+  workload : string;
+  replay : string;
+  geometry : string;
+  jobs : int;
+  git : string;
+  wall_ms : float;
+  phases : (string * float) list;  (* span name -> total ms *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+
+let float_str v = Printf.sprintf "%.6f" v
+
+let to_json r =
+  Json.obj
+    [
+      ("telemetry_schema", Json.int schema_version);
+      (* As a string: epoch nanoseconds exceed the 2^53 range where JSON
+         numbers are exact. *)
+      ("ts_ns", Json.str (Int64.to_string r.ts_ns));
+      ("cmd", Json.str r.cmd);
+      ("workload", Json.str r.workload);
+      ("replay", Json.str r.replay);
+      ("geometry", Json.str r.geometry);
+      ("jobs", Json.int r.jobs);
+      ("git", Json.str r.git);
+      ("wall_ms", float_str r.wall_ms);
+      ( "phases",
+        Json.obj (List.map (fun (k, v) -> (k, float_str v)) r.phases) );
+      ( "counters",
+        Json.obj (List.map (fun (k, v) -> (k, Json.int v)) r.counters) );
+      ( "gauges",
+        Json.obj (List.map (fun (k, v) -> (k, float_str v)) r.gauges) );
+    ]
+  ^ "\n"
+
+let of_json json =
+  let open Jsonin in
+  let str_field k = Option.bind (member k json) to_string_opt in
+  let num_field k = Option.bind (member k json) to_float_opt in
+  let assoc_field k conv =
+    match Option.bind (member k json) obj_fields with
+    | None -> None
+    | Some fields ->
+      (* Every member must convert; a half-readable section means a
+         corrupt record, not a shorter list. *)
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | (key, v) :: rest -> (
+          match conv v with
+          | Some x -> go ((key, x) :: acc) rest
+          | None -> None)
+      in
+      go [] fields
+  in
+  match Option.bind (member "telemetry_schema" json) to_int_opt with
+  | Some v when v = schema_version -> (
+    match
+      ( Option.bind (str_field "ts_ns") Int64.of_string_opt,
+        str_field "cmd",
+        str_field "workload",
+        str_field "replay",
+        str_field "geometry",
+        Option.bind (member "jobs" json) to_int_opt,
+        str_field "git",
+        num_field "wall_ms",
+        assoc_field "phases" to_float_opt,
+        assoc_field "counters" to_int_opt,
+        assoc_field "gauges" to_float_opt )
+    with
+    | ( Some ts_ns,
+        Some cmd,
+        Some workload,
+        Some replay,
+        Some geometry,
+        Some jobs,
+        Some git,
+        Some wall_ms,
+        Some phases,
+        Some counters,
+        Some gauges ) ->
+      Some
+        { ts_ns; cmd; workload; replay; geometry; jobs; git; wall_ms; phases;
+          counters; gauges }
+    | _ -> None)
+  | _ -> None
+
+let of_string s = Option.bind (Jsonin.parse_opt s) of_json
+
+let counter r name =
+  match List.assoc_opt name r.counters with Some v -> v | None -> 0
+
+let gauge r name = List.assoc_opt name r.gauges
+let phase_ms r name = List.assoc_opt name r.phases
+
+(* Warm-store hit rate over this run's lookups; None when it never
+   touched the store. *)
+let hit_rate r =
+  let hits = counter r "store.hit" and misses = counter r "store.miss" in
+  let total = hits + misses in
+  if total = 0 then None else Some (float_of_int hits /. float_of_int total)
+
+(* Share of analytic nests that fell back to simulation. *)
+let fallback_rate r =
+  let nests = counter r "analytic.nests" in
+  if nests = 0 then None
+  else Some (float_of_int (counter r "analytic.fallback") /. float_of_int nests)

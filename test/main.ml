@@ -19,6 +19,7 @@ let () =
       ("trace", Test_trace.suite);
       ("runs", Test_runs.suite);
       ("obs", Test_obs.suite);
+      ("health", Test_health.suite);
       ("store", Test_store.suite);
       ("fuzz", Test_fuzz.suite);
       ("analytic", Test_analytic.suite);

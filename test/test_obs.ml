@@ -8,6 +8,9 @@ open Locality_ir
 module Obs = Locality_obs.Obs
 module Event = Locality_obs.Event
 module Summary = Locality_obs.Summary
+module Hist = Locality_obs.Hist
+module Openmetrics = Locality_obs.Openmetrics
+module Flame = Locality_obs.Flame
 module Chrome = Locality_obs.Chrome
 module Pool = Locality_par.Pool
 module Compound = Locality_core.Compound
@@ -166,6 +169,8 @@ let pool_workload i =
     (fun () ->
       Obs.instant "note" ~args:[ ("sq", string_of_int (i * i)) ];
       Obs.counter "work" (i + 1);
+      Obs.histogram "work.size" (i * 7);
+      Obs.gauge "work.level" (float_of_int i /. 3.0);
       if i mod 2 = 0 then Obs.decision (dummy_decision i);
       i * i)
 
@@ -222,11 +227,214 @@ let test_summary_aggregation () =
   in
   let s = Summary.of_events events in
   checkb "counter summed" true (List.assoc "c" s.Summary.counters = 6);
+  checki "event total counted in the same pass" (List.length events)
+    s.Summary.events;
   match s.Summary.spans with
   | [ row ] ->
     checks "span name" "s" row.Summary.name;
-    checki "span count" 2 row.Summary.count
+    checki "span count" 2 row.Summary.count;
+    checkb "min <= max" true (Int64.compare row.Summary.min_ns row.Summary.max_ns <= 0)
   | rows -> Alcotest.failf "expected one span row, got %d" (List.length rows)
+
+(* --------------------------------------------- histograms/gauges --- *)
+
+let test_hist_bucket_math () =
+  (* Bucket 0 holds v <= 0; bucket i holds 2^(i-1) <= v <= 2^i - 1. *)
+  checki "bucket of -5" 0 (Hist.bucket_of (-5));
+  checki "bucket of 0" 0 (Hist.bucket_of 0);
+  checki "bucket of 1" 1 (Hist.bucket_of 1);
+  checki "bucket of 2" 2 (Hist.bucket_of 2);
+  checki "bucket of 3" 2 (Hist.bucket_of 3);
+  checki "bucket of 4" 3 (Hist.bucket_of 4);
+  checki "bucket of 1023" 10 (Hist.bucket_of 1023);
+  checki "bucket of 1024" 11 (Hist.bucket_of 1024);
+  checki "bucket of max_int" 62 (Hist.bucket_of max_int);
+  (* Upper bounds line up with the bucket boundaries. *)
+  checki "le of bucket 0" 0 (Hist.bucket_le 0);
+  checki "le of bucket 10" 1023 (Hist.bucket_le 10);
+  checki "le of last bucket" max_int (Hist.bucket_le 62);
+  List.iter
+    (fun v ->
+      let b = Hist.bucket_of v in
+      checkb
+        (Printf.sprintf "v=%d within its bucket's bound" v)
+        true
+        (v <= Hist.bucket_le b && (b = 0 || v > Hist.bucket_le (b - 1))))
+    [ 1; 2; 7; 8; 100; 4095; 4096; 123_456_789; max_int ]
+
+let test_hist_observe_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.observe a) [ 1; 5; 5; 100 ];
+  List.iter (Hist.observe b) [ 0; 7; 1000 ];
+  let m = Hist.merge a b in
+  checki "merged count" 7 m.Hist.count;
+  checki "merged sum" (1 + 5 + 5 + 100 + 0 + 7 + 1000) m.Hist.sum;
+  checki "merged min" 0 m.Hist.min;
+  checki "merged max" 1000 m.Hist.max;
+  checkb "merge commutes" true (Hist.equal m (Hist.merge b a));
+  (* Cumulative counts are monotone and end at the total. *)
+  let cum = Hist.cumulative m in
+  checkb "cumulative monotone" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) (_, c) -> (ok && c >= prev, c))
+          (true, 0) cum));
+  checki "cumulative ends at count" m.Hist.count (snd (List.nth cum (List.length cum - 1)));
+  (* Median of [1;5;5;100] U [0;7;1000] = 5: p50 lands in 5's bucket. *)
+  checkb "p50 bucket covers the median" true (Hist.quantile m 0.5 >= 5);
+  checki "p100 clamps to max" 1000 (Hist.quantile m 1.0)
+
+let test_summary_hist_gauge () =
+  let (), events =
+    Obs.collect (fun () ->
+        Obs.histogram "h" 3;
+        Obs.histogram "h" 300;
+        Obs.gauge "g" 1.5;
+        Obs.gauge "g" 2.5)
+  in
+  let s = Summary.of_events events in
+  (match s.Summary.histograms with
+  | [ (name, h) ] ->
+    checks "histogram name" "h" name;
+    checki "observations" 2 h.Hist.count;
+    checki "sum" 303 h.Hist.sum
+  | l -> Alcotest.failf "expected one histogram, got %d" (List.length l));
+  match s.Summary.gauges with
+  | [ ("g", v) ] -> checkb "last write wins" true (v = 2.5)
+  | l -> Alcotest.failf "expected one gauge, got %d" (List.length l)
+
+(* Histogram/gauge aggregates must merge identically across pool sizes,
+   on top of the fingerprint equality already checked above. *)
+let test_hist_gauge_pool_deterministic () =
+  let summary_at jobs =
+    let _, events =
+      Obs.collect (fun () -> Pool.map ~jobs pool_workload (List.init 8 Fun.id))
+    in
+    Summary.of_events events
+  in
+  let s1 = summary_at 1 and s4 = summary_at 4 in
+  (match (s1.Summary.histograms, s4.Summary.histograms) with
+  | [ (n1, h1) ], [ (n4, h4) ] ->
+    checks "histogram name equal" n1 n4;
+    checkb "histogram buckets equal" true (Hist.equal h1 h4)
+  | _ -> Alcotest.fail "expected one histogram at both job counts");
+  checkb "gauges equal" true (s1.Summary.gauges = s4.Summary.gauges)
+
+(* ------------------------------------------------ self time ------- *)
+
+let test_span_self_time_and_stack () =
+  let (), events =
+    Obs.collect (fun () ->
+        Obs.span "outer" (fun () ->
+            Obs.span "inner" (fun () -> Sys.opaque_identity (ref 0) |> ignore)))
+  in
+  let find name =
+    List.find_map
+      (fun (e : Event.t) ->
+        match e.Event.payload with
+        | Event.Span s when s.name = name ->
+          Some (s.dur_ns, s.self_ns, s.stack)
+        | _ -> None)
+      events
+  in
+  match (find "outer", find "inner") with
+  | Some (o_dur, o_self, o_stack), Some (i_dur, i_self, i_stack) ->
+    let expect =
+      let d = Int64.sub o_dur i_dur in
+      if Int64.compare d 0L < 0 then 0L else d
+    in
+    checkb "outer self = dur - child (clamped)" true (o_self = expect);
+    checkb "outer self >= 0" true (Int64.compare o_self 0L >= 0);
+    checkb "inner self = its dur" true (i_self = i_dur);
+    checkb "outer stack empty" true (o_stack = []);
+    checkb "inner stack is [outer]" true (i_stack = [ "outer" ])
+  | _ -> Alcotest.fail "spans missing"
+
+(* ------------------------------------------------- exporters ------- *)
+
+let sample_summary () =
+  let (), events =
+    Obs.collect (fun () ->
+        Obs.span "phase.a" (fun () -> Obs.span "phase.b" (fun () -> ()));
+        Obs.counter "c.total" 5;
+        Obs.histogram "h.sizes" 9;
+        Obs.histogram "h.sizes" 1000;
+        Obs.gauge "g.rate" 0.75)
+  in
+  (events, Summary.of_events events)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_openmetrics_text () =
+  let _, s = sample_summary () in
+  let text = Openmetrics.to_text s in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  checks "terminated by # EOF" "# EOF" (List.nth lines (List.length lines - 1));
+  (* Sanitized names: dots become underscores under the memoria_ prefix. *)
+  checkb "counter line" true (contains text "memoria_c_total_total 5");
+  checkb "gauge line" true (contains text "memoria_g_rate 0.75");
+  (* 9 falls in the (8..15] bucket, 1000 in (512..1023]. *)
+  checkb "bucket le=15" true
+    (contains text "memoria_h_sizes_bucket{le=\"15\"} 1");
+  checkb "bucket le=1023" true
+    (contains text "memoria_h_sizes_bucket{le=\"1023\"} 2");
+  checkb "+Inf bucket" true
+    (contains text "memoria_h_sizes_bucket{le=\"+Inf\"} 2");
+  checkb "hist sum" true (contains text "memoria_h_sizes_sum 1009");
+  checkb "hist count" true (contains text "memoria_h_sizes_count 2");
+  checkb "span family labelled" true
+    (contains text "memoria_span_count_total{span=\"phase.a\"} 1");
+  (* Every metric family is TYPE-declared before its samples. *)
+  let rec check_types declared = function
+    | [] -> ()
+    | line :: rest ->
+      if line = "" || line = "# EOF" then check_types declared rest
+      else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then
+        let after = String.sub line 7 (String.length line - 7) in
+        let fam =
+          match String.index_opt after ' ' with
+          | Some i -> String.sub after 0 i
+          | None -> after
+        in
+        check_types (fam :: declared) rest
+      else begin
+        checkb
+          (Printf.sprintf "sample %S under a declared family" line)
+          true
+          (List.exists
+             (fun fam ->
+               String.length line >= String.length fam
+               && String.sub line 0 (String.length fam) = fam)
+             declared);
+        check_types declared rest
+      end
+  in
+  check_types [] lines
+
+let test_openmetrics_json () =
+  let _, s = sample_summary () in
+  let doc = Openmetrics.to_json s in
+  checkb "metrics JSON parses" true (json_valid doc);
+  checkb "schema versioned" true (contains doc "\"schema_version\"");
+  checkb "histogram buckets present" true (contains doc "\"le\":15")
+
+let test_flame_collapsed () =
+  let events, _ = sample_summary () in
+  let out = Flame.to_string events in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  checki "two stacks" 2 (List.length lines);
+  checkb "nested stack present" true
+    (List.exists
+       (fun l ->
+         String.length l > 15 && String.sub l 0 15 = "phase.a;phase.b")
+       lines);
+  (* Lexicographic order: "phase.a " before "phase.a;phase.b ". *)
+  match lines with
+  | [ a; b ] -> checkb "sorted" true (String.compare a b < 0)
+  | _ -> Alcotest.fail "unexpected line count"
 
 (* ------------------------------------------------ explain log ------ *)
 
@@ -347,6 +555,14 @@ let suite =
     ("span closed by exception", `Quick, test_span_exception_propagates);
     ("disabled sink records nothing", `Quick, test_disabled_records_nothing);
     ("summary aggregation", `Quick, test_summary_aggregation);
+    ("histogram bucket math", `Quick, test_hist_bucket_math);
+    ("histogram observe and merge", `Quick, test_hist_observe_merge);
+    ("summary histograms and gauges", `Quick, test_summary_hist_gauge);
+    ("histograms/gauges deterministic across jobs", `Quick, test_hist_gauge_pool_deterministic);
+    ("span self time and stack", `Quick, test_span_self_time_and_stack);
+    ("openmetrics text export", `Quick, test_openmetrics_text);
+    ("openmetrics json export", `Quick, test_openmetrics_json);
+    ("flame collapsed stacks", `Quick, test_flame_collapsed);
     ("explain: decision per nest_stat, all kernels", `Quick, test_explain_counts_all_kernels);
     ("explain: distribution case", `Quick, test_explain_distribution_case);
     ("explain: reversal case", `Quick, test_explain_reversal_case);
