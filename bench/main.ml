@@ -52,9 +52,33 @@ let () =
 
 let table2_rows = lazy (Stats.Table2.compute ())
 
+(* The interpreter hot path is supposed to be allocation-free: trace a
+   kernel into a discarding sink and report the minor-heap words each
+   access cost. Goes to stderr so the CI A/B diff of stdout across
+   replay modes is unaffected; the residue is the per-run setup
+   (closure compilation, chunk buffer), amortised over ~10^6 accesses. *)
+let alloc_probe () =
+  let module Trace = Locality_interp.Trace in
+  let module Fastexec = Locality_interp.Fastexec in
+  let p = (List.assoc "matmul" Locality_suite.Kernels.all) 64 in
+  let silent_run () =
+    let rb = Trace.run_create ~sink:(fun _ -> ()) () in
+    let w0 = Gc.minor_words () in
+    ignore (Fastexec.run_traced_runs rb p);
+    let w1 = Gc.minor_words () in
+    (w1 -. w0, Trace.run_total rb)
+  in
+  ignore (silent_run ());
+  let words, accesses = silent_run () in
+  Printf.eprintf "alloc: %.4f minor words/access (%d accesses, matmul n=64, \
+                  silent sink)\n%!"
+    (words /. float_of_int accesses)
+    accesses
+
 (* Capture the Table 4 workload (both program versions per row, same N)
    in one trace format and total the stream statistics. *)
 let tracestats () =
+  alloc_probe ();
   let rows = Lazy.force table2_rows in
   let tally mode =
     List.fold_left
@@ -191,7 +215,10 @@ let experiments : (string * (unit -> string)) list =
     ("ablation-step3", fun () -> Stats.Ablation.step3 ());
     ("ablation-tilesize", fun () -> Stats.Ablation.tilesize ());
     ("tracestats", tracestats);
+    ("alloc", fun () -> alloc_probe (); "(see stderr)\n");
     ("analytic", analytic_stats);
+    ("scale", fun () -> Stats.Scale.render_scale ());
+    ("sampleerr", fun () -> Stats.Scale.render_err (Lazy.force table2_rows));
   ]
 
 (* ------------------------------------------------- native kernels ---- *)
@@ -520,7 +547,9 @@ let bechamel () =
 (* Experiments that read [table2_rows]. Before running experiments in
    parallel the lazy is forced once up front: concurrent Lazy.force from
    several domains raises, and the rows are wanted by many consumers. *)
-let needs_table2 = [ "table2"; "table4"; "table5"; "fig8"; "fig9" ]
+let needs_table2 =
+  [ "table2"; "table4"; "table5"; "fig8"; "fig9"; "tracestats"; "analytic";
+    "sampleerr" ]
 
 let run_experiments ~jobs selected =
   if
@@ -539,14 +568,16 @@ let run_experiments ~jobs selected =
 let replay_mode_name () =
   match Sys.getenv_opt "MEMORIA_REPLAY" with
   | Some "per-access" -> "per-access"
+  | Some "stream" -> "stream"
+  | Some "sample" -> "sample"
   | Some "analytic" -> "analytic"
   | _ -> "runs"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Strip -j/--jobs N, --trace FILE, --profile, --metrics FILE and
-     --flame FILE anywhere on the command line (same convention the
-     memoria binary uses). *)
+  (* Strip -j/--jobs N, --scale N, --rate R, --trace FILE, --profile,
+     --metrics FILE and --flame FILE anywhere on the command line (same
+     convention the memoria binary uses). *)
   let jobs = ref None in
   let trace = ref None in
   let profile = ref false in
@@ -563,6 +594,28 @@ let () =
         exit 1)
     | [ ("-j" | "--jobs") ] ->
       Printf.eprintf "-j needs a value\n";
+      exit 1
+    | "--scale" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 ->
+        Stats.Scale.factor := k;
+        strip rest
+      | _ ->
+        Printf.eprintf "bad --scale value %s (want a positive integer)\n" n;
+        exit 1)
+    | [ "--scale" ] ->
+      Printf.eprintf "--scale needs a value\n";
+      exit 1
+    | "--rate" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some v when v > 0.0 && v <= 1.0 ->
+        Locality_sample.Sample.set_rate v;
+        strip rest
+      | _ ->
+        Printf.eprintf "bad --rate value %s (want a float in (0, 1])\n" r;
+        exit 1)
+    | [ "--rate" ] ->
+      Printf.eprintf "--rate needs a value\n";
       exit 1
     | "--trace" :: path :: rest ->
       trace := Some path;

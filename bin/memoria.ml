@@ -114,8 +114,33 @@ let flame_arg =
 let replay_mode_name () =
   match Sys.getenv_opt "MEMORIA_REPLAY" with
   | Some "per-access" -> "per-access"
+  | Some "stream" -> "stream"
+  | Some "sample" -> "sample"
   | Some "analytic" -> "analytic"
   | _ -> "runs"
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"K"
+        ~doc:
+          "Geometry multiplier: run with an effective size of K times the \
+           base (the $(b,-n) value, or 64 when absent). Large factors are \
+           where the $(b,stream) and $(b,sample) replay modes pay off; the \
+           layout stage rejects factors whose arrays would overflow the \
+           traceable address space.")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rate" ] ~docv:"R"
+        ~doc:
+          "Sampling rate in (0, 1] for $(b,MEMORIA_REPLAY=sample): the \
+           fraction of cache lines the SHARDS profiler tracks (default: \
+           $(b,MEMORIA_SAMPLE_RATE) or 0.01). Ignored by the exact modes.")
+
+let set_rate rate = Option.iter Locality_sample.Sample.set_rate rate
 
 (* Tracing harness for the commands that take
    [--trace]/[--profile]/[--metrics]/[--flame]: enable recording around
@@ -395,7 +420,8 @@ let cgen_cmd =
     Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ opt_flag $ driver_flag)
 
 let sim_cmd =
-  let run file kernel cls n cache trace profile metrics flame =
+  let run file kernel cls n scale rate cache trace profile metrics flame =
+    set_rate rate;
     let target =
       match kernel with
       | Some k -> k
@@ -403,16 +429,18 @@ let sim_cmd =
         match file with Some f -> Filename.basename f | None -> "-")
     in
     let workload =
-      Printf.sprintf "sim:%s:cls=%d:n=%s:cache=%s" target cls
+      Printf.sprintf "sim:%s:cls=%d:n=%s:cache=%s%s" target cls
         (match n with Some v -> string_of_int v | None -> "-")
         cache.Locality_cachesim.Cache.name
+        (if scale = 1 then "" else Printf.sprintf ":scale=%d" scale)
     in
     with_obs ~cmd:"sim" ~workload
       ~geometry:cache.Locality_cachesim.Cache.name ~jobs:1 ~trace ~profile
       ~metrics ~flame (fun () ->
         let src = or_die (source_of ~kernel ~file) in
         let r =
-          or_die (Driver.run (Driver.config ?n ~cls ~machines:[ cache ] src))
+          or_die
+            (Driver.run (Driver.config ?n ~scale ~cls ~machines:[ cache ] src))
         in
         let m = List.hd r.Driver.measured in
         let before = m.Driver.original_run
@@ -432,8 +460,9 @@ let sim_cmd =
     (Cmd.info "sim"
        ~doc:"Simulate cache behaviour of the original and optimized program.")
     Term.(
-      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ cache_arg
-      $ trace_arg $ profile_arg $ metrics_arg $ flame_arg)
+      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ scale_arg
+      $ rate_arg $ cache_arg $ trace_arg $ profile_arg $ metrics_arg
+      $ flame_arg)
 
 let explain_cmd =
   let run file kernel cls n json interference_limit compare cache metrics =
@@ -449,8 +478,12 @@ let explain_cmd =
         (if compare then "compare:" ^ cache.Locality_cachesim.Cache.name
          else "decisions")
     in
-    with_obs ~cmd:"explain" ~workload
-      ~geometry:cache.Locality_cachesim.Cache.name ~jobs:1 ~trace:None
+    (* The cache geometry only matters under --compare; the plain
+       decision log never simulates, so its telemetry says so. *)
+    let geometry =
+      if compare then cache.Locality_cachesim.Cache.name else "-"
+    in
+    with_obs ~cmd:"explain" ~workload ~geometry ~jobs:1 ~trace:None
       ~profile:false ~metrics ~flame:None (fun () ->
         let src = or_die (source_of ~kernel ~file) in
         let name, p = or_die (Driver.load ?n src) in
@@ -618,11 +651,15 @@ let kernels_cmd =
     Term.(const run $ const ())
 
 let suite_cmd =
-  let run cls n jobs trace profile metrics flame =
+  let run cls n scale rate jobs trace profile metrics flame =
+    set_rate rate;
     let n = Option.value n ~default:64 in
     let module Pool = Locality_par.Pool in
     let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-    let workload = Printf.sprintf "suite:n=%d:cls=%d:jobs=%d" n cls jobs in
+    let workload =
+      Printf.sprintf "suite:n=%d:cls=%d:jobs=%d%s" n cls jobs
+        (if scale = 1 then "" else Printf.sprintf ":scale=%d" scale)
+    in
     let rows =
       with_obs ~cmd:"suite" ~workload ~geometry:"cache1+cache2" ~jobs ~trace
         ~profile ~metrics ~flame (fun () ->
@@ -630,7 +667,7 @@ let suite_cmd =
             (fun (name, _) ->
               Obs.span ("kernel:" ^ name) (fun () ->
                   let cfg =
-                    Driver.config ~n ~cls
+                    Driver.config ~n ~scale ~cls
                       ~machines:[ Machine.cache1; Machine.cache2 ]
                       (Driver.Source_kernel name)
                   in
@@ -679,8 +716,8 @@ let suite_cmd =
          "Optimize and simulate every built-in kernel in parallel, printing \
           modelled speedups on both cache geometries.")
     Term.(
-      const run $ cls_arg $ n_arg $ jobs_arg $ trace_arg $ profile_arg
-      $ metrics_arg $ flame_arg)
+      const run $ cls_arg $ n_arg $ scale_arg $ rate_arg $ jobs_arg
+      $ trace_arg $ profile_arg $ metrics_arg $ flame_arg)
 
 let store_cmd =
   let dir_arg =
@@ -784,10 +821,18 @@ let fuzz_cmd =
     let workload =
       Printf.sprintf "fuzz:seed=%d:count=%d:max-size=%d" seed count max_size
     in
+    (* Mirror what the harness actually does: the pool resolves an
+       absent -j itself, and the replay/analytic/sample oracles simulate
+       on both reference geometries — "-"/0 used to make `memoria
+       health` group fuzz runs with unlike configurations. *)
+    let jobs_resolved =
+      match jobs with
+      | Some j -> j
+      | None -> Locality_par.Pool.default_jobs ()
+    in
     let outcome =
-      with_obs ~cmd:"fuzz" ~workload ~geometry:"-"
-        ~jobs:(Option.value jobs ~default:0) ~trace ~profile ~metrics ~flame
-        (fun () ->
+      with_obs ~cmd:"fuzz" ~workload ~geometry:"cache1+cache2"
+        ~jobs:jobs_resolved ~trace ~profile ~metrics ~flame (fun () ->
           Obs.span "fuzz" (fun () ->
               Fuzz.Harness.run ?jobs ?corpus_dir:corpus ~seed ~count ~max_size
                 ~oracles ()))
@@ -843,7 +888,8 @@ let fuzz_cmd =
              semantics under the interpreter), $(b,replay) (v1 vs v2 \
              trace replay), $(b,roundtrip) (pretty-print/reparse), \
              $(b,cgen) (native C checksum), $(b,analytic) (closed-form \
-             locality model vs the simulator). Default: all.")
+             locality model vs the simulator), $(b,sample) (SHARDS \
+             sampled profile vs exact reuse analysis). Default: all.")
   in
   let corpus_arg =
     Arg.(
@@ -988,13 +1034,22 @@ let main =
            Cmd.Env.info "MEMORIA_REPLAY"
              ~doc:
                "Measurement backend: $(b,per-access) forces the flat v1 \
-                record stream; $(b,analytic) skips tracing and asks the \
-                closed-form locality model (simulator-equal on programs it \
-                certifies exact, sound estimates elsewhere, automatic \
-                fallback to simulation when out of scope); any other value \
-                (or unset) uses the run-compressed v2 trace format, which \
-                is several times faster than v1 and produces bit-identical \
-                statistics.";
+                record stream; $(b,stream) fuses capture and simulation so \
+                no trace is materialised (bit-identical statistics in O(chunk) \
+                memory at any problem size); $(b,sample) builds a SHARDS \
+                hash-sampled reuse-distance profile instead of simulating \
+                exactly (see $(b,MEMORIA_SAMPLE_RATE)); $(b,analytic) skips \
+                tracing and asks the closed-form locality model \
+                (simulator-equal on programs it certifies exact, sound \
+                estimates elsewhere, automatic fallback to simulation when \
+                out of scope); any other value (or unset) uses the \
+                run-compressed v2 trace format, which is several times \
+                faster than v1 and produces bit-identical statistics.";
+           Cmd.Env.info "MEMORIA_SAMPLE_RATE"
+             ~doc:
+               "Sampling rate in (0, 1] for $(b,MEMORIA_REPLAY=sample) \
+                (default 0.01): the expected fraction of cache lines the \
+                SHARDS profiler tracks. The $(b,--rate) flag overrides it.";
            Cmd.Env.info "MEMORIA_STORE"
              ~doc:
                "Directory of the content-addressed experiment store. When \

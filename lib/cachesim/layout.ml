@@ -6,6 +6,17 @@ type info = {
 
 type t = { tbl : (string, info) Hashtbl.t; mutable total : int; base0 : int }
 
+(* Scaled geometries (--scale) can push extent products past both the
+   native int and the 32-bit packed-record address field, so every
+   multiply and the running cursor are checked. The address-space cap is
+   {!Chunk.max_addr}: any array byte a traced run may touch must pack
+   into a record. *)
+let checked_mul name a b =
+  if a <> 0 && b > max_int / a then
+    invalid_arg
+      (Printf.sprintf "Layout.build: size of %s overflows (%d * %d)" name a b)
+  else a * b
+
 let build ?(base = 0) ?(align = 128) ~param decls =
   let tbl = Hashtbl.create 16 in
   let cursor = ref base in
@@ -22,11 +33,19 @@ let build ?(base = 0) ?(align = 128) ~param decls =
               (Printf.sprintf "Layout.build: non-positive extent in %s"
                  d.Decl.name))
         extents;
-      let elems = Array.fold_left ( * ) 1 extents in
+      let elems =
+        Array.fold_left (checked_mul d.Decl.name) 1 extents
+      in
       let info = { base = !cursor; extents; elem_size = d.Decl.elem_size } in
       Hashtbl.replace tbl d.Decl.name info;
-      let bytes = elems * d.Decl.elem_size in
+      let bytes = checked_mul d.Decl.name elems d.Decl.elem_size in
       let bytes = (bytes + align - 1) / align * align in
+      if bytes < 0 || !cursor > Chunk.max_addr - bytes + 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Layout.build: %s at byte %d (+%d bytes) exceeds the %d-byte \
+              traceable address space; reduce the size parameter or --scale"
+             d.Decl.name !cursor bytes (Chunk.max_addr + 1));
       cursor := !cursor + bytes)
     decls;
   { tbl; total = !cursor - base; base0 = base }

@@ -8,7 +8,11 @@ type t
 
 val build : ?base:int -> ?align:int -> param:(string -> int) -> Decl.t list -> t
 (** Lay out the arrays in declaration order. [param] evaluates symbolic
-    extents; [align] (default 128) aligns bases. *)
+    extents; [align] (default 128) aligns bases.
+    @raise Invalid_argument on non-positive extents, on extent products
+    that overflow the native int, and when the layout no longer fits the
+    {!Chunk.max_addr} packed-record address space (scaled geometries:
+    the error names the array and suggests reducing [--scale]). *)
 
 val address : t -> string -> int array -> int
 (** Byte address of an element given its 1-based subscripts.

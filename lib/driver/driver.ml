@@ -27,6 +27,7 @@ type transform =
 type config = {
   source : source;
   n : int option;
+  scale : int;
   cls : int;
   transform : transform;
   machines : Cache.config list;
@@ -37,12 +38,13 @@ type config = {
   store : Store.t option;
 }
 
-let config ?n ?(cls = 4)
+let config ?n ?(scale = 1) ?(cls = 4)
     ?(transform = Compound { try_reversal = None; interference_limit = None })
     ?(machines = []) ?(timing = Machine.default_timing) ?params ?replay
     ?(use_labels = false) ?(store = Store.default ()) source =
-  { source; n; cls; transform; machines; timing; params; replay; use_labels;
-    store }
+  if scale < 1 then invalid_arg "Driver.config: scale must be >= 1";
+  { source; n; scale; cls; transform; machines; timing; params; replay;
+    use_labels; store }
 
 type measured = {
   machine : Cache.config;
@@ -201,8 +203,16 @@ let run_loaded cfg name program =
   { name; original = program; transformed; compound; optimized_labels;
     measured }
 
+(* --scale multiplies the effective size: an explicit -n scales from
+   that base, otherwise from the conventional default of 64. Scale 1
+   leaves an absent -n absent (kernels and suite entries keep their own
+   defaults). *)
+let effective_n cfg =
+  if cfg.scale = 1 then cfg.n
+  else Some (cfg.scale * Option.value cfg.n ~default:64)
+
 let run cfg =
-  match load ?n:cfg.n cfg.source with
+  match load ?n:(effective_n cfg) cfg.source with
   | Error msg -> Error msg
   | Ok (name, program) -> (
     try Ok (run_loaded cfg name program)

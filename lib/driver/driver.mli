@@ -46,6 +46,11 @@ type config = {
           argument (default 64), files and programs have every PARAMETER
           rewritten to it, suite entries pass it to
           {!Locality_suite.Programs.program_of}. *)
+  scale : int;
+      (** Geometry multiplier (the [--scale] flag): the effective size
+          override becomes [scale * (n | 64)] when [> 1]. {!Layout}
+          rejects scaled geometries whose byte layout would overflow the
+          packed-record address space. *)
   cls : int;  (** Cache line size in elements for the cost model. *)
   transform : transform;
   machines : Cache.config list;
@@ -63,6 +68,7 @@ type config = {
 
 val config :
   ?n:int ->
+  ?scale:int ->
   ?cls:int ->
   ?transform:transform ->
   ?machines:Cache.config list ->
@@ -73,10 +79,10 @@ val config :
   ?store:Store.t option ->
   source ->
   config
-(** Defaults: no size override, [cls = 4], {!Compound} with neither
-    knob set, no machines, {!Machine.default_timing}, no parameter
-    overrides, ambient replay mode, [use_labels = false], ambient
-    store. *)
+(** Defaults: no size override, [scale = 1], [cls = 4], {!Compound}
+    with neither knob set, no machines, {!Machine.default_timing}, no
+    parameter overrides, ambient replay mode, [use_labels = false],
+    ambient store. @raise Invalid_argument when [scale < 1]. *)
 
 type measured = {
   machine : Cache.config;

@@ -1,13 +1,16 @@
 module Driver = Locality_driver.Driver
 module Measure = Locality_interp.Measure
 module Exec = Locality_interp.Exec
+module Fastexec = Locality_interp.Fastexec
+module Trace = Locality_interp.Trace
 module Machine = Locality_cachesim.Machine
 module Analytic = Locality_analytic.Analytic
+module Sample = Locality_sample.Sample
 module L = Locality_lang
 
-type kind = [ `Exec | `Replay | `Roundtrip | `Cgen | `Analytic ]
+type kind = [ `Exec | `Replay | `Roundtrip | `Cgen | `Analytic | `Sample ]
 
-let all = [ `Exec; `Replay; `Roundtrip; `Cgen; `Analytic ]
+let all = [ `Exec; `Replay; `Roundtrip; `Cgen; `Analytic; `Sample ]
 
 let kind_to_string = function
   | `Exec -> "exec"
@@ -15,6 +18,7 @@ let kind_to_string = function
   | `Roundtrip -> "roundtrip"
   | `Cgen -> "cgen"
   | `Analytic -> "analytic"
+  | `Sample -> "sample"
 
 let kind_of_string = function
   | "exec" -> Ok `Exec
@@ -22,10 +26,12 @@ let kind_of_string = function
   | "roundtrip" -> Ok `Roundtrip
   | "cgen" -> Ok `Cgen
   | "analytic" -> Ok `Analytic
+  | "sample" -> Ok `Sample
   | s ->
     Error
       (Printf.sprintf
-         "unknown oracle %s (expected exec|replay|roundtrip|cgen|analytic)" s)
+         "unknown oracle %s (expected \
+          exec|replay|roundtrip|cgen|analytic|sample)" s)
 
 type finding = { kind : kind; detail : string }
 
@@ -284,6 +290,101 @@ let check_analytic ~which p =
         bracketed @ exact)
     [ Machine.cache1; Machine.cache2 ]
 
+(* The SHARDS sampled profiler (lib/sample) against ground truth, on
+   the program's own run-compressed trace. Three claims:
+
+   1. Exactness: at rate 1.0 with a budget the footprint never exceeds,
+      the set-sampling estimator IS the simulator — estimated hits and
+      cold equal the exact counts on both reference geometries.
+   2. The group fast path is invisible: feeding the stream through
+      [consume_runchunk] (bulk-skipping group descriptors) and feeding
+      every expanded access through [access] produce structurally equal
+      profiles, including under threshold adaptation (tiny budget) and
+      at sub-1.0 rates.
+   3. Exact tallies stay exact at any rate: [pf_accesses] matches the
+      trace's logical record count. *)
+let check_sample ~which p =
+  let module Cache = Locality_cachesim.Cache in
+  let fail detail = { kind = `Sample; detail = which ^ ": " ^ detail } in
+  let rb, finish = Trace.run_capturing () in
+  ignore (Fastexec.run_traced_runs rb p);
+  let cap = finish () in
+  let labels = Trace.(cap.run_trace_labels) in
+  let build ~rate ~max_tracked ~sets ~line_bytes ~grouped =
+    let s = Sample.create ~rate ~max_tracked ~sets ~line_bytes () in
+    (if grouped then Trace.iter_run_chunks cap (Sample.consume_runchunk s)
+     else
+       Trace.iter_runs cap (fun ~label ~addr ~write ->
+           ignore write;
+           Sample.access s ~label ~addr));
+    Sample.profile s ~labels ~ops:0
+  in
+  let exactness =
+    List.concat_map
+      (fun (config : Cache.config) ->
+        let sets =
+          config.Cache.size_bytes / (config.Cache.line_bytes * config.Cache.assoc)
+        in
+        let pf =
+          build ~rate:1.0 ~max_tracked:max_int ~sets
+            ~line_bytes:config.Cache.line_bytes ~grouped:true
+        in
+        let est_hits = ref 0.0 in
+        Array.iteri
+          (fun i _ ->
+            est_hits := !est_hits +. Sample.hits_under pf i ~ways:config.Cache.assoc)
+          pf.Sample.pf_labels;
+        let est_cold = Sample.cold pf in
+        let sim =
+          Measure.replay_prepared ~config
+            (Measure.prepare ~mode:Measure.Runs ~store:None p)
+        in
+        let whole = sim.Measure.whole in
+        List.filter_map
+          (fun (what, est, exact) ->
+            if Float.equal est (float_of_int exact) then None
+            else
+              Some
+                (fail
+                   (Printf.sprintf
+                      "%s: rate-1.0 profile %s estimate %.1f, simulator %d"
+                      config.Cache.name what est exact)))
+          [
+            ("hits", !est_hits, whole.Measure.hits);
+            ("cold", est_cold, whole.Measure.cold);
+            ("accesses", float_of_int pf.Sample.pf_accesses,
+             whole.Measure.accesses);
+          ])
+      [ Machine.cache1; Machine.cache2 ]
+  in
+  let equivalence =
+    List.concat_map
+      (fun (rate, max_tracked, sets, line_bytes) ->
+        let a = build ~rate ~max_tracked ~sets ~line_bytes ~grouped:true in
+        let b = build ~rate ~max_tracked ~sets ~line_bytes ~grouped:false in
+        (if a = b then []
+         else
+           [
+             fail
+               (Printf.sprintf
+                  "group-fed and per-access profiles differ (rate=%g \
+                   max_tracked=%d sets=%d line=%dB)"
+                  rate max_tracked sets line_bytes);
+           ])
+        @
+        if a.Sample.pf_accesses = Trace.(cap.run_records) then []
+        else
+          [
+            fail
+              (Printf.sprintf
+                 "profile counted %d accesses, trace has %d"
+                 a.Sample.pf_accesses
+                 Trace.(cap.run_records));
+          ])
+      [ (1.0, 64, 128, 32); (0.25, 65536, 128, 32); (0.25, 64, 1, 64) ]
+  in
+  exactness @ equivalence
+
 let check ?(oracles = all) p =
   let want k = List.mem k oracles in
   match transform p with
@@ -297,4 +398,5 @@ let check ?(oracles = all) p =
     @ (if want `Replay then on_both check_replay else [])
     @ (if want `Roundtrip then on_both check_roundtrip else [])
     @ (if want `Cgen && cgen_available () then on_both check_cgen else [])
-    @ if want `Analytic then on_both check_analytic else []
+    @ (if want `Analytic then on_both check_analytic else [])
+    @ if want `Sample then on_both check_sample else []

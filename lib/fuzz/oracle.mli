@@ -23,11 +23,18 @@
       value, and counts are simulator-equal whenever it claims
       exactness. A fallback verdict is allowed (the model may refuse a
       program), a wrong number never is.
+    - [`Sample]: the SHARDS sampled profiler
+      ({!Locality_sample.Sample}) is simulator-equal at rate 1.0 under
+      an unexceeded tracking budget on both machine geometries, its
+      group-descriptor fast path produces the profile per-access
+      feeding would (including under threshold adaptation and at
+      sub-1.0 rates), and its exact access tallies match the trace, on
+      both program versions.
 
     Oracles are pure observers: a failed check is returned as a
     {!finding}, never raised. *)
 
-type kind = [ `Exec | `Replay | `Roundtrip | `Cgen | `Analytic ]
+type kind = [ `Exec | `Replay | `Roundtrip | `Cgen | `Analytic | `Sample ]
 
 val all : kind list
 (** Every oracle, in check order. *)

@@ -11,6 +11,7 @@ type result = {
 type ctx = {
   ienv : int array;  (** loop indices and parameters by slot *)
   scalars : float array;
+  fstack : float array;  (** expression evaluation slots, see compile_rexpr *)
   mutable ops : int;
   mutable accesses : int;
   mutable iterations : int;
@@ -181,18 +182,39 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
       let elem = Layout.elem_size layout d.Decl.name in
       Hashtbl.replace layout_strides d.Decl.name (s, base, elem))
     p.Program.decls;
-  (* Compile a reference into an (offset, address) pair of closures. *)
+  (* Compile a reference into an (offset, address) pair of closures.
+     The offset closure is rank-specialized so the per-access path is a
+     pure arithmetic expression over preallocated subscript closures —
+     the general rank folds through a tail-recursive helper bound
+     outside the closure, so no list node, array or ref cell is
+     allocated per access. *)
+  let zero_sub = fun (_ : ctx) -> 0 in
   let compile_access (r : Reference.t) =
     let arr = Hashtbl.find data r.Reference.array in
     let s, base, elem = Hashtbl.find layout_strides r.Reference.array in
-    let subs = Array.of_list (List.map (compile_expr slots) r.Reference.subs) in
-    let n = Array.length subs in
-    let offset c =
-      let off = ref 0 in
-      for k = 0 to n - 1 do
-        off := !off + ((subs.(k) c - 1) * s.(k))
-      done;
-      !off
+    let n = List.length r.Reference.subs in
+    let fsubs = Array.make (max n 1) zero_sub in
+    List.iteri (fun k e -> fsubs.(k) <- compile_expr slots e) r.Reference.subs;
+    let offset =
+      match n with
+      | 0 -> zero_sub
+      | 1 ->
+        let f0 = fsubs.(0) and s0 = s.(0) in
+        fun c -> (f0 c - 1) * s0
+      | 2 ->
+        let f0 = fsubs.(0) and s0 = s.(0) in
+        let f1 = fsubs.(1) and s1 = s.(1) in
+        fun c -> ((f0 c - 1) * s0) + ((f1 c - 1) * s1)
+      | 3 ->
+        let f0 = fsubs.(0) and s0 = s.(0) in
+        let f1 = fsubs.(1) and s1 = s.(1) in
+        let f2 = fsubs.(2) and s2 = s.(2) in
+        fun c -> ((f0 c - 1) * s0) + ((f1 c - 1) * s1) + ((f2 c - 1) * s2)
+      | _ ->
+        let rec go k acc c =
+          if k = n then acc else go (k + 1) (acc + ((fsubs.(k) c - 1) * s.(k))) c
+        in
+        fun c -> go 0 0 c
     in
     (arr, offset, base, elem)
   in
@@ -214,15 +236,25 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
     | Some slope -> Some (fun c -> step * elem * slope c)
     | None -> None
   in
-  let rec compile_rexpr mode label (e : Stmt.rexpr) : ctx -> float =
+  (* Expression evaluation is a stack machine over the preallocated
+     [ctx.fstack]: every node stores its value into a destination slot
+     and the closures return [unit], so no boxed float ever crosses an
+     indirect call — a [ctx -> float] closure would box its result on
+     every invocation, which dominated the interpreter's per-access
+     allocation. Slot [dst] holds the node's value; a binop evaluates
+     its left child into [dst] and its right into [dst + 1], so the
+     stack depth is the expression tree's right-spine depth. *)
+  let fdepth = ref 1 in
+  let rec compile_rexpr mode label ~dst (e : Stmt.rexpr) : ctx -> unit =
+    if dst >= !fdepth then fdepth := dst + 1;
     match e with
-    | Stmt.Const v -> fun _ -> v
+    | Stmt.Const v -> fun c -> c.fstack.(dst) <- v
     | Stmt.Scalar x ->
       let i = slot_of sslots x in
-      fun c -> c.scalars.(i)
+      fun c -> c.fstack.(dst) <- c.scalars.(i)
     | Stmt.Iexpr ie ->
       let f = compile_expr slots ie in
-      fun c -> float_of_int (f c)
+      fun c -> c.fstack.(dst) <- float_of_int (f c)
     | Stmt.Load r -> (
       let arr, offset, base, elem = compile_access r in
       match mode with
@@ -232,14 +264,14 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
           c.accesses <- c.accesses + 1;
           observer.Exec.on_access ~label ~addr:(base + (off * elem))
             ~write:false;
-          Array.get arr off
+          c.fstack.(dst) <- Array.get arr off
       | Buffer tr ->
         let lid = Trace.intern tr label in
         fun c ->
           let off = offset c in
           c.accesses <- c.accesses + 1;
           Trace.record tr ~label:lid ~addr:(base + (off * elem)) ~write:false;
-          Array.get arr off
+          c.fstack.(dst) <- Array.get arr off
       | Runbuf rb ->
         let lid = Trace.run_intern rb label in
         fun c ->
@@ -247,46 +279,90 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
           c.accesses <- c.accesses + 1;
           Trace.run_record rb ~label:lid ~addr:(base + (off * elem))
             ~write:false;
-          Array.get arr off
+          c.fstack.(dst) <- Array.get arr off
       | Silent ->
         fun c ->
           c.accesses <- c.accesses + 1;
-          Array.get arr (offset c))
-    | Stmt.Unop (op, a) ->
-      let fa = compile_rexpr mode label a in
-      let g =
-        match op with
-        | Stmt.Fneg -> Float.neg
-        | Stmt.Sqrt -> fun v -> Float.sqrt (Float.abs v)
-        | Stmt.Abs -> Float.abs
-        | Stmt.Exp -> Float.exp
-        | Stmt.Sin -> Float.sin
-        | Stmt.Cos -> Float.cos
-      in
-      fun c ->
-        let v = fa c in
-        c.ops <- c.ops + 1;
-        g v
-    | Stmt.Binop (op, a, b) ->
-      let fa = compile_rexpr mode label a and fb = compile_rexpr mode label b in
-      let g =
-        match op with
-        | Stmt.Fadd -> ( +. )
-        | Stmt.Fsub -> ( -. )
-        | Stmt.Fmul -> ( *. )
-        | Stmt.Fdiv -> ( /. )
-        | Stmt.Fmin -> Float.min
-        | Stmt.Fmax -> Float.max
-      in
-      fun c ->
-        let va = fa c in
-        let vb = fb c in
-        c.ops <- c.ops + 1;
-        g va vb
+          c.fstack.(dst) <- Array.get arr (offset c))
+    | Stmt.Unop (op, a) -> (
+      let fa = compile_rexpr mode label ~dst a in
+      (* Direct primitive applications on the slot, not a [g] closure:
+         an unknown call returning float would box. *)
+      match op with
+      | Stmt.Fneg ->
+        fun c ->
+          fa c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.neg c.fstack.(dst)
+      | Stmt.Sqrt ->
+        fun c ->
+          fa c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.sqrt (Float.abs c.fstack.(dst))
+      | Stmt.Abs ->
+        fun c ->
+          fa c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.abs c.fstack.(dst)
+      | Stmt.Exp ->
+        fun c ->
+          fa c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.exp c.fstack.(dst)
+      | Stmt.Sin ->
+        fun c ->
+          fa c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.sin c.fstack.(dst)
+      | Stmt.Cos ->
+        fun c ->
+          fa c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.cos c.fstack.(dst))
+    | Stmt.Binop (op, a, b) -> (
+      let fa = compile_rexpr mode label ~dst a in
+      let fb = compile_rexpr mode label ~dst:(dst + 1) b in
+      match op with
+      | Stmt.Fadd ->
+        fun c ->
+          fa c;
+          fb c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- c.fstack.(dst) +. c.fstack.(dst + 1)
+      | Stmt.Fsub ->
+        fun c ->
+          fa c;
+          fb c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- c.fstack.(dst) -. c.fstack.(dst + 1)
+      | Stmt.Fmul ->
+        fun c ->
+          fa c;
+          fb c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- c.fstack.(dst) *. c.fstack.(dst + 1)
+      | Stmt.Fdiv ->
+        fun c ->
+          fa c;
+          fb c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- c.fstack.(dst) /. c.fstack.(dst + 1)
+      | Stmt.Fmin ->
+        fun c ->
+          fa c;
+          fb c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.min c.fstack.(dst) c.fstack.(dst + 1)
+      | Stmt.Fmax ->
+        fun c ->
+          fa c;
+          fb c;
+          c.ops <- c.ops + 1;
+          c.fstack.(dst) <- Float.max c.fstack.(dst) c.fstack.(dst + 1))
   in
   let compile_stmt mode (st : Stmt.t) : ctx -> unit =
     let label = st.Stmt.label in
-    let rhs = compile_rexpr mode label st.Stmt.rhs in
+    let rhs = compile_rexpr mode label ~dst:0 st.Stmt.rhs in
     match st.Stmt.lhs with
     | Stmt.Store r -> (
       let arr, offset, base, elem = compile_access r in
@@ -295,37 +371,37 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
         fun c ->
           c.iterations <- c.iterations + 1;
           observer.Exec.on_stmt ~label;
-          let v = rhs c in
+          rhs c;
           let off = offset c in
           c.accesses <- c.accesses + 1;
           observer.Exec.on_access ~label ~addr:(base + (off * elem))
             ~write:true;
-          Array.set arr off v
+          Array.set arr off c.fstack.(0)
       | Buffer tr ->
         let lid = Trace.intern tr label in
         fun c ->
           c.iterations <- c.iterations + 1;
-          let v = rhs c in
+          rhs c;
           let off = offset c in
           c.accesses <- c.accesses + 1;
           Trace.record tr ~label:lid ~addr:(base + (off * elem)) ~write:true;
-          Array.set arr off v
+          Array.set arr off c.fstack.(0)
       | Runbuf rb ->
         let lid = Trace.run_intern rb label in
         fun c ->
           c.iterations <- c.iterations + 1;
-          let v = rhs c in
+          rhs c;
           let off = offset c in
           c.accesses <- c.accesses + 1;
           Trace.run_record rb ~label:lid ~addr:(base + (off * elem))
             ~write:true;
-          Array.set arr off v
+          Array.set arr off c.fstack.(0)
       | Silent ->
         fun c ->
           c.iterations <- c.iterations + 1;
-          let v = rhs c in
+          rhs c;
           c.accesses <- c.accesses + 1;
-          Array.set arr (offset c) v)
+          Array.set arr (offset c) c.fstack.(0))
     | Stmt.Scalar_set x -> (
       let i = slot_of sslots x in
       match mode with
@@ -333,11 +409,13 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
         fun c ->
           c.iterations <- c.iterations + 1;
           observer.Exec.on_stmt ~label;
-          c.scalars.(i) <- rhs c
+          rhs c;
+          c.scalars.(i) <- c.fstack.(0)
       | Buffer _ | Runbuf _ | Silent ->
         fun c ->
           c.iterations <- c.iterations + 1;
-          c.scalars.(i) <- rhs c)
+          rhs c;
+          c.scalars.(i) <- c.fstack.(0))
   in
   let rec compile_block mode (b : Loop.block) : ctx -> unit =
     let fns =
@@ -406,29 +484,27 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
             | Loop.Loop _ -> assert false)
           l.Loop.body
       in
-      let compiled =
-        List.map
-          (fun (label, r, write) ->
+      (* One pass straight into flat preallocated arrays — no Option
+         triple list, no Array.of_list temporaries. *)
+      let n = List.length refs in
+      let packed = Array.make (max n 1) 0 in
+      let addr_fns = Array.make (max n 1) zero_sub in
+      let stride_fns = Array.make (max n 1) zero_sub in
+      let qualifies = ref true in
+      List.iteri
+        (fun j (label, r, write) ->
+          if !qualifies then
             match compile_stride ~idx ~step r with
             | Some stride_fn ->
               let _, offset, base, elem = compile_access r in
-              let addr_fn c = base + (offset c * elem) in
-              let lid = Trace.run_intern rb label in
-              Some (Chunk.pack ~addr:0 ~write ~label:lid, addr_fn, stride_fn)
-            | None -> None)
-          refs
-      in
-      if List.exists Option.is_none compiled then None
+              packed.(j) <-
+                Chunk.pack ~addr:0 ~write ~label:(Trace.run_intern rb label);
+              addr_fns.(j) <- (fun c -> base + (offset c * elem));
+              stride_fns.(j) <- stride_fn
+            | None -> qualifies := false)
+        refs;
+      if not !qualifies then None
       else begin
-        let compiled = List.filter_map Fun.id compiled in
-        let n = List.length compiled in
-        let packed = Array.of_list (List.map (fun (p, _, _) -> p) compiled) in
-        let addr_fns =
-          Array.of_list (List.map (fun (_, a, _) -> a) compiled)
-        in
-        let stride_fns =
-          Array.of_list (List.map (fun (_, _, s) -> s) compiled)
-        in
         (* Scratch reused across instances: one compiled loop never
            re-enters itself (no recursion, one ctx per run). *)
         let bases = Array.make (max n 1) 0 in
@@ -483,6 +559,7 @@ let exec ~mode ?(init = Exec.default_init) ?params (p : Program.t) =
     {
       ienv = Array.make nints 0;
       scalars = Array.make nscal 0.0;
+      fstack = Array.make !fdepth 0.0;
       ops = 0;
       accesses = 0;
       iterations = 0;

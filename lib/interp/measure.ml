@@ -36,17 +36,29 @@ let hit_rate ?exclude_cold r =
    the choice is purely a performance knob: MEMORIA_REPLAY=per-access
    forces v1, anything else (including unset) captures v2.
 
-   A third mode skips tracing altogether: MEMORIA_REPLAY=analytic asks
+   Two modes skip materialising the trace. MEMORIA_REPLAY=stream fuses
+   capture and simulation: the interpreter's run-chunk sink calls
+   Cache.simulate_runs on each chunk as it fills, so peak trace memory
+   is one chunk at any iteration count — and because the chunk stream
+   and the simulator are exactly those of a capture-then-replay, the
+   runs are bit-identical to v2 replay. MEMORIA_REPLAY=sample feeds the
+   same sink into a SHARDS sampled reuse-distance profiler
+   ({!Locality_sample.Sample}); hits are then estimated from the scaled
+   per-label histograms, with access/op counts exact.
+
+   A further mode skips execution too: MEMORIA_REPLAY=analytic asks
    the closed-form locality model ({!Locality_analytic.Analytic}) for
    the run, in O(nest size) instead of O(iterations). Programs the
    model cannot analyze fall back to v2 capture-and-replay, so the mode
    is total; the fallback is counted under [analytic.fallback]. *)
 
-type replay_mode = Per_access | Runs | Analytic
+type replay_mode = Per_access | Runs | Stream | Sampled | Analytic
 
 let replay_mode () =
   match Sys.getenv_opt "MEMORIA_REPLAY" with
   | Some "per-access" -> Per_access
+  | Some "stream" -> Stream
+  | Some "sample" -> Sampled
   | Some "analytic" -> Analytic
   | Some _ | None -> Runs
 
@@ -72,8 +84,12 @@ type capture = {
    entries wholesale. *)
 
 (* Analytic-mode fallbacks capture a v2 trace, so they share the v2
-   capture (and run) store entries rather than duplicating them. *)
-let mode_tag = function Per_access -> "v1" | Runs | Analytic -> "v2"
+   capture (and run) store entries rather than duplicating them; a
+   forced capture under the stream/sample modes (trace_stats) is an
+   ordinary v2 capture too. *)
+let mode_tag = function
+  | Per_access -> "v1"
+  | Runs | Stream | Sampled | Analytic -> "v2"
 
 let params_tag params =
   String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) params)
@@ -125,7 +141,7 @@ let interpret_capture ~mode ?params ~cap_key (p : Program.t) =
           Obs.histogram "capture.records" t.Trace.records
         end;
         { trace = V1 t; cap_ops = res.Fastexec.ops; cap_key }
-      | Runs | Analytic ->
+      | Runs | Stream | Sampled | Analytic ->
         let rb, finish = Trace.run_capturing () in
         let res = Fastexec.run_traced_runs ?params rb p in
         let t = finish () in
@@ -360,6 +376,218 @@ let analytic_prepared ~config ~timing ~optimized_labels pr =
         Some r
       | None -> None))
 
+(* ------------------------------------------------ streaming mode ---- *)
+
+(* MEMORIA_REPLAY=stream: the interpreter's run-chunk sink simulates
+   each chunk the moment it fills, so the whole measurement runs in
+   O(chunk) trace memory at any iteration count. Labels are interned at
+   closure-compile time — before the first access executes — so the
+   marked-label array is complete by the first flush. Chunk boundaries
+   and the simulator are exactly those of capture-then-replay, making
+   the run bit-identical to [Runs]; the trade is per-geometry
+   re-execution instead of a shared capture, which is the point:
+   geometry count is small and bounded, iteration count is not. *)
+
+let stream_key ?(params = []) ~config ~timing ~labels (p : Program.t) =
+  Store.key ~kind:"stream"
+    [
+      "run";
+      Pretty.program_to_string p;
+      params_tag params;
+      config_tag config;
+      timing_tag timing;
+      labels_tag labels;
+    ]
+
+let stream_compute ~config ~timing ~optimized_labels ?params (p : Program.t) =
+  Obs.span "stream" ~args:[ ("cache", config.Cache.name) ] (fun () ->
+      let cache = Cache.create config in
+      let reg = Cache.fresh_region () in
+      let metrics = Cache.fresh_run_metrics () in
+      let chunks = ref 0 in
+      let marked = ref [||] in
+      let rb_ref = ref None in
+      let sink rc =
+        (match !rb_ref with
+        | Some rb ->
+          let labels = Trace.run_labels rb in
+          if Array.length !marked <> Array.length labels then
+            marked := Array.map (fun l -> List.mem l optimized_labels) labels
+        | None -> ());
+        incr chunks;
+        Cache.simulate_runs cache ~marked:!marked ~region:reg ~metrics rc
+      in
+      let rb = Trace.run_create ~sink () in
+      rb_ref := Some rb;
+      let res = Fastexec.run_traced_runs ?params rb p in
+      let s = Cache.stats cache in
+      if Obs.enabled () then begin
+        Obs.add_span_arg "accesses" (string_of_int s.Cache.accesses);
+        Obs.add_span_arg "chunks" (string_of_int !chunks);
+        Obs.counter "stream.chunks" !chunks;
+        Obs.counter "stream.accesses" s.Cache.accesses;
+        Obs.counter "cache.accesses" s.Cache.accesses;
+        Obs.counter "cache.hits" s.Cache.hits;
+        Obs.counter "cache.cold" s.Cache.cold_misses
+      end;
+      let whole =
+        {
+          accesses = s.Cache.accesses;
+          hits = s.Cache.hits;
+          cold = s.Cache.cold_misses;
+        }
+      in
+      let optimized =
+        {
+          accesses = reg.Cache.r_accesses;
+          hits = reg.Cache.r_hits;
+          cold = reg.Cache.r_cold;
+        }
+      in
+      let misses = whole.accesses - whole.hits in
+      let ops = res.Fastexec.ops in
+      {
+        whole;
+        optimized;
+        ops;
+        cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses;
+        seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
+      })
+
+let stream_prepared ~config ~timing ~optimized_labels pr =
+  let compute () =
+    stream_compute ~config ~timing ~optimized_labels ?params:pr.p_params
+      pr.p_program
+  in
+  match pr.p_store with
+  | None -> compute ()
+  | Some st -> (
+    let k =
+      stream_key ?params:pr.p_params ~config ~timing ~labels:optimized_labels
+        pr.p_program
+    in
+    match (Store.get_value st k : run option) with
+    | Some r -> r
+    | None ->
+      let r = compute () in
+      Store.put_value st k r;
+      r)
+
+(* ------------------------------------------------ sampled mode ------ *)
+
+module Sample = Locality_sample.Sample
+
+(* The SHARDS profile depends on the program, its parameters, the
+   sampling rate/seed and the set partition (line size and set count) —
+   not the associativity — so one profile (store kind "sample") serves
+   every geometry sharing that partition. The run derived from it is
+   cheap and recomputed on the fly: hits are the weight of observations
+   with scaled same-set distance below the geometry's way count (the
+   exact set-associative LRU condition), access and op counts are
+   exact. *)
+
+let sample_key ?(params = []) ~rate ~seed ~line_bytes ~sets (p : Program.t) =
+  Store.key ~kind:"sample"
+    [
+      "profile";
+      Pretty.program_to_string p;
+      params_tag params;
+      Printf.sprintf "%h" rate;
+      string_of_int seed;
+      string_of_int line_bytes;
+      string_of_int sets;
+    ]
+
+let sample_profile_compute ~rate ~line_bytes ~sets ?params (p : Program.t) =
+  Obs.span "sample"
+    ~args:
+      [
+        ("line_bytes", string_of_int line_bytes);
+        ("sets", string_of_int sets);
+      ]
+    (fun () ->
+      let sampler = Sample.create ~rate ~line_bytes ~sets () in
+      let sink rc = Sample.consume_runchunk sampler rc in
+      let rb = Trace.run_create ~sink () in
+      let res = Fastexec.run_traced_runs ?params rb p in
+      let prof =
+        Sample.profile sampler ~labels:(Trace.run_labels rb)
+          ~ops:res.Fastexec.ops
+      in
+      if Obs.enabled () then begin
+        Obs.add_span_arg "accesses" (string_of_int prof.Sample.pf_accesses);
+        Obs.add_span_arg "sampled" (string_of_int prof.Sample.pf_sampled);
+        Obs.counter "sample.accesses" prof.Sample.pf_accesses;
+        Obs.counter "sample.sampled" prof.Sample.pf_sampled;
+        Obs.counter "sample.adaptations" prof.Sample.pf_adaptations;
+        Obs.gauge "sample.rate" prof.Sample.pf_final_rate
+      end;
+      prof)
+
+let run_of_sample_profile ~config ~timing ~optimized_labels
+    (prof : Sample.profile) =
+  let ways = config.Cache.assoc in
+  let nl = Array.length prof.Sample.pf_labels in
+  let w_hits = ref 0.0 and w_cold = ref 0.0 in
+  let o_hits = ref 0.0 and o_cold = ref 0.0 in
+  let o_acc = ref 0 in
+  for lid = 0 to nl - 1 do
+    let h = Sample.hits_under prof lid ~ways in
+    let c = prof.Sample.pf_label_cold.(lid) in
+    w_hits := !w_hits +. h;
+    w_cold := !w_cold +. c;
+    if List.mem prof.Sample.pf_labels.(lid) optimized_labels then begin
+      o_acc := !o_acc + prof.Sample.pf_label_accesses.(lid);
+      o_hits := !o_hits +. h;
+      o_cold := !o_cold +. c
+    end
+  done;
+  let clamp ~accesses hits_f cold_f =
+    let hits = max 0 (min accesses (int_of_float (Float.round hits_f))) in
+    let cold =
+      max 0 (min (accesses - hits) (int_of_float (Float.round cold_f)))
+    in
+    { accesses; hits; cold }
+  in
+  let whole = clamp ~accesses:prof.Sample.pf_accesses !w_hits !w_cold in
+  let optimized = clamp ~accesses:!o_acc !o_hits !o_cold in
+  let ops = prof.Sample.pf_ops in
+  let misses = whole.accesses - whole.hits in
+  {
+    whole;
+    optimized;
+    ops;
+    cycles = Machine.cycles timing ~ops ~hits:whole.hits ~misses;
+    seconds = Machine.seconds timing ~ops ~hits:whole.hits ~misses;
+  }
+
+let sample_prepared ~config ~timing ~optimized_labels pr =
+  let rate = Sample.current_rate () in
+  let line_bytes = config.Cache.line_bytes in
+  let sets =
+    max 1 (config.Cache.size_bytes / (line_bytes * config.Cache.assoc))
+  in
+  let compute () =
+    sample_profile_compute ~rate ~line_bytes ~sets ?params:pr.p_params
+      pr.p_program
+  in
+  let prof =
+    match pr.p_store with
+    | None -> compute ()
+    | Some st -> (
+      let k =
+        sample_key ?params:pr.p_params ~rate ~seed:0 ~line_bytes ~sets
+          pr.p_program
+      in
+      match (Store.get_value st k : Sample.profile option) with
+      | Some p -> p
+      | None ->
+        let p = compute () in
+        Store.put_value st k p;
+        p)
+  in
+  run_of_sample_profile ~config ~timing ~optimized_labels prof
+
 let replay_prepared ?(config = Machine.cache1)
     ?(timing = Machine.default_timing) ?(optimized_labels = []) pr =
   let simulate () =
@@ -373,6 +601,8 @@ let replay_prepared ?(config = Machine.cache1)
     match analytic_prepared ~config ~timing ~optimized_labels pr with
     | Some r -> r
     | None -> simulate ())
+  | Stream -> stream_prepared ~config ~timing ~optimized_labels pr
+  | Sampled -> sample_prepared ~config ~timing ~optimized_labels pr
   | Per_access | Runs -> simulate ()
 
 let measure ?config ?timing ?optimized_labels ?params ?store (p : Program.t) =
@@ -432,10 +662,66 @@ let replay_hierarchy ?(l1 = Machine.cache2) ?(l2 = Machine.cache1)
   cached_hier ~store ~cap_key:cap.cap_key ~l1 ~l2 (fun () ->
       replay_hierarchy_compute ~l1 ~l2 cap)
 
+(* The streaming analog of [replay_hierarchy_compute]: identical chunk
+   boundaries into the same two-level simulator, one chunk at a time.
+   [Sampled] mode routes here too — hierarchy numbers stay exact. *)
+let stream_hier_key ?(params = []) ~l1 ~l2 (p : Program.t) =
+  Store.key ~kind:"stream"
+    [
+      "hier";
+      Pretty.program_to_string p;
+      params_tag params;
+      config_tag l1;
+      config_tag l2;
+    ]
+
+let stream_hierarchy_compute ~l1 ~l2 ?params (p : Program.t) =
+  Obs.span "stream_hierarchy"
+    ~args:[ ("l1", l1.Cache.name); ("l2", l2.Cache.name) ]
+    (fun () ->
+      let module H = Locality_cachesim.Hierarchy in
+      let h = H.create ~l1 ~l2 in
+      let chunks = ref 0 in
+      let sink rc =
+        incr chunks;
+        H.simulate_runs h rc
+      in
+      let rb = Trace.run_create ~sink () in
+      ignore (Fastexec.run_traced_runs ?params rb p);
+      if Obs.enabled () then begin
+        let s1 = H.l1_stats h in
+        Obs.add_span_arg "l1_accesses" (string_of_int s1.Cache.accesses);
+        Obs.add_span_arg "chunks" (string_of_int !chunks);
+        Obs.counter "stream.chunks" !chunks;
+        Obs.counter "stream.accesses" s1.Cache.accesses
+      end;
+      {
+        l1_rate = Cache.hit_rate (H.l1_stats h);
+        l2_rate = Cache.hit_rate (H.l2_stats h);
+        amat = H.amat h;
+        hier_writebacks = H.writebacks h;
+      })
+
 let replay_hierarchy_prepared ?(l1 = Machine.cache2) ?(l2 = Machine.cache1)
     pr =
-  cached_hier ~store:pr.p_store ~cap_key:pr.p_key ~l1 ~l2 (fun () ->
-      replay_hierarchy_compute ~l1 ~l2 (prepared_capture pr))
+  match pr.p_mode with
+  | Stream | Sampled -> (
+    let compute () =
+      stream_hierarchy_compute ~l1 ~l2 ?params:pr.p_params pr.p_program
+    in
+    match pr.p_store with
+    | None -> compute ()
+    | Some st -> (
+      let k = stream_hier_key ?params:pr.p_params ~l1 ~l2 pr.p_program in
+      match (Store.get_value st k : hier_run option) with
+      | Some r -> r
+      | None ->
+        let r = compute () in
+        Store.put_value st k r;
+        r))
+  | Per_access | Runs | Analytic ->
+    cached_hier ~store:pr.p_store ~cap_key:pr.p_key ~l1 ~l2 (fun () ->
+        replay_hierarchy_compute ~l1 ~l2 (prepared_capture pr))
 
 let measure_hierarchy ?l1 ?l2 ?params ?store (p : Program.t) =
   replay_hierarchy_prepared ?l1 ?l2 (prepare ?params ?store p)

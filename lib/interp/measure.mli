@@ -39,11 +39,35 @@ val hit_rate : ?exclude_cold:bool -> region -> float
     region saw no accesses at all, 0.0 when every access was a cold miss
     (no reuse to score). *)
 
-type replay_mode = Per_access | Runs | Analytic
+type replay_mode = Per_access | Runs | Stream | Sampled | Analytic
 (** Trace format selector. [Per_access] is the v1 flat record stream;
     [Runs] is the v2 run-compressed stream whose strided-run groups
     both shrink the capture and let replay bulk-advance whole
     cache-line windows. Statistics are bit-identical either way.
+
+    [Stream] fuses capture and simulation: the interpreter's run-chunk
+    sink feeds {!Cache.simulate_runs} (and the hierarchy simulator)
+    directly, chunk by chunk, so no trace is ever materialised and peak
+    trace memory is O(chunk) at any iteration count. Because the chunk
+    boundaries and the simulator are identical to a capture-then-replay
+    of the same program, the resulting runs are bit-identical to [Runs]
+    — the trade is memory for time: each cache geometry re-executes the
+    program instead of replaying a shared capture. Streamed results
+    live under their own store kind ("stream").
+
+    [Sampled] replaces exact simulation with a SHARDS sampled
+    reuse-distance profile ({!Locality_sample.Sample}) built from the
+    same streaming sink: cache lines are hash-sampled at
+    [Sample.current_rate ()] (the [--rate] flag / [MEMORIA_SAMPLE_RATE]),
+    distances are tracked per cache set, and per-label histograms
+    scaled by 1/R estimate hits via the exact set-associative LRU
+    condition (scaled same-set distance < ways) — at rate 1.0 the
+    estimate equals the simulator, and below it the only error is
+    sampling noise. Access and op counts stay exact; hit/cold counts
+    are estimates. One profile per (line size, set count) partition is
+    built (and store-cached, kind "sample") and serves every geometry
+    sharing it. Hierarchy measurements under [Sampled] use the exact
+    streaming path.
 
     [Analytic] skips tracing entirely: {!replay_prepared} and
     {!measure} ask the closed-form locality model
@@ -54,13 +78,15 @@ type replay_mode = Per_access | Runs | Analytic
     capture-and-replay (counted under [analytic.fallback]), so the
     mode is total. Analytic results live under their own store kind
     ("analytic") and never collide with simulated runs. Hierarchy
-    measurements ({!replay_hierarchy}, {!measure_hierarchy}) always
-    simulate. *)
+    measurements ({!replay_hierarchy}, {!measure_hierarchy}) simulate
+    exactly in every mode ([Stream]/[Sampled] stream them, the rest
+    replay the capture). *)
 
 val replay_mode : unit -> replay_mode
 (** The mode selected by the [MEMORIA_REPLAY] environment variable:
-    ["per-access"] forces v1; ["analytic"] selects the closed-form
-    model; any other value, or unset, selects v2. *)
+    ["per-access"] forces v1; ["stream"] fuses capture+simulate;
+    ["sample"] selects sampled profiling; ["analytic"] the closed-form
+    model; any other value, or unset, selects v2 capture-and-replay. *)
 
 type capture
 (** A program's batched address trace plus its operation count: the

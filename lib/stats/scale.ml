@@ -1,0 +1,144 @@
+(* Scaled-geometry replay-mode comparison and the sampled-profile error
+   sweep — see scale.mli. *)
+
+module D = Locality_driver.Driver
+module Measure = Locality_interp.Measure
+module Machine = Locality_cachesim.Machine
+module Cache = Locality_cachesim.Cache
+module Sample = Locality_sample.Sample
+module S = Locality_suite
+
+let factor = ref 4
+
+(* 2-D kernels whose footprint grows quadratically with --scale: big
+   enough to make the exact modes work for their answer, regular enough
+   that the sampled estimate is meaningful. *)
+let kernels = [ "matmul"; "jacobi2d" ]
+let caches = [ Machine.cache1; Machine.cache2 ]
+
+let miss_rate (r : Measure.region) =
+  if r.Measure.accesses = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (r.Measure.accesses - r.Measure.hits)
+    /. float_of_int r.Measure.accesses
+
+let cache_short (c : Cache.config) =
+  match String.index_opt c.Cache.name ' ' with
+  | Some i -> String.sub c.Cache.name 0 i
+  | None -> c.Cache.name
+
+let render_scale () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let f = !factor in
+  line
+    "Replay modes on scaled geometries (n=32, scale=%d -> effective n=%d, \
+     rate=%g)"
+    f (32 * f) (Sample.current_rate ());
+  line "%-10s %-8s %-12s %9s %9s %9s %10s" "kernel" "cache" "version"
+    "runs%" "stream%" "sample%" "sample-err";
+  let mismatches = ref 0 in
+  let max_err = ref 0.0 in
+  List.iter
+    (fun kernel ->
+      let run mode =
+        D.run_exn
+          (D.config ~n:32 ~scale:f ~replay:mode ~machines:caches
+             (D.Source_kernel kernel))
+      in
+      let exact = run Measure.Runs in
+      let streamed = run Measure.Stream in
+      let sampled = run Measure.Sampled in
+      List.iteri
+        (fun i cache ->
+          let pick (r : D.result) = List.nth r.D.measured i in
+          let me = pick exact and ms = pick streamed and mp = pick sampled in
+          (* The stream tentpole's contract is structural equality of the
+             whole run record, not just the headline rate. *)
+          if
+            me.D.original_run <> ms.D.original_run
+            || me.D.transformed_run <> ms.D.transformed_run
+          then incr mismatches;
+          List.iter
+            (fun (version, sel) ->
+              let re = sel me and rs = sel ms and rp = sel mp in
+              let err =
+                Float.abs
+                  (miss_rate rp.Measure.whole -. miss_rate re.Measure.whole)
+              in
+              if err > !max_err then max_err := err;
+              line "%-10s %-8s %-12s %9.2f %9.2f %9.2f %9.2fpt" kernel
+                (cache_short cache) version
+                (miss_rate re.Measure.whole)
+                (miss_rate rs.Measure.whole)
+                (miss_rate rp.Measure.whole)
+                err)
+            [
+              ("original", fun (m : D.measured) -> m.D.original_run);
+              ("transformed", fun (m : D.measured) -> m.D.transformed_run);
+            ])
+        caches)
+    kernels;
+  line "stream-mismatches=%d" !mismatches;
+  line "sample max-err=%.2fpt" !max_err;
+  Buffer.contents buf
+
+let render_err (rows : Table2.row list) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let params = [ ("N", 32) ] in
+  let rate = Sample.current_rate () in
+  line
+    "Sampled vs exact miss rates (Table 4 workload, N=32, both versions, \
+     cache1+cache2, rate=%g)"
+    rate;
+  line "%-10s %-8s %8s %8s %6s   %8s %8s %6s" "program" "cache" "exact%"
+    "sample%" "err" "exact%" "sample%" "err";
+  line "%-10s %-8s %-26s  %-26s" "" "" "(original)" "(transformed)";
+  let max_err = ref 0.0 in
+  let sum_err = ref 0.0 in
+  let n_err = ref 0 in
+  List.iter
+    (fun (r : Table2.row) ->
+      if r.Table2.nests > 0 then
+        let exact p =
+          Measure.prepare ~mode:Measure.Runs ~params p
+        in
+        let sampled p =
+          Measure.prepare ~mode:Measure.Sampled ~params p
+        in
+        let eo = exact r.Table2.original
+        and et = exact r.Table2.transformed
+        and so = sampled r.Table2.original
+        and st = sampled r.Table2.transformed in
+        List.iter
+          (fun config ->
+            let m prep = Measure.replay_prepared ~config prep in
+            let cell pe ps =
+              let re = miss_rate (m pe).Measure.whole
+              and rs = miss_rate (m ps).Measure.whole in
+              let err = Float.abs (rs -. re) in
+              if err > !max_err then max_err := err;
+              sum_err := !sum_err +. err;
+              incr n_err;
+              (re, rs, err)
+            in
+            let oe, os, oerr = cell eo so and te, ts, terr = cell et st in
+            line "%-10s %-8s %8.2f %8.2f %5.2fp   %8.2f %8.2f %5.2fp"
+              r.Table2.entry.S.Programs.name (cache_short config) oe os oerr
+              te ts terr)
+          caches)
+    rows;
+  let mean = if !n_err = 0 then 0.0 else !sum_err /. float_of_int !n_err in
+  let bound = 1.0 in
+  line "sample rate=%g cells=%d mean-err=%.3fpt max-err=%.3fpt bound=%.1fpt"
+    rate !n_err mean !max_err bound;
+  (* CI gates max error at rate 1.0 (adaptive-budget mode: exact until a
+     program's footprint exceeds max_tracked, so the bound checks the
+     estimator plus SHARDS-adj adaptation) and mean error at sampling
+     rates, where concentrated-footprint programs can blow any per-cell
+     bound a spatial sample could promise. *)
+  line "err-bound-ok=%b" (!max_err <= bound);
+  line "mean-err-ok=%b" (mean <= bound);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** The two experiments behind the streaming/sampling PR's claims.
+
+    {!render_scale} (the [scale] bench experiment) runs a pair of 2-D
+    kernels at [--scale]-multiplied geometry through the three
+    trace-driven replay modes — [Runs], [Stream], [Sampled] — on both
+    reference caches and prints their whole-program miss rates side by
+    side, a [stream-mismatches=N] line counting any structural
+    difference between the [Runs] and [Stream] run records (the
+    streaming mode's bit-identity contract; CI greps for [=0]), and the
+    worst sampled-estimate error.
+
+    {!render_err} (the [sampleerr] bench experiment) sweeps the Table 4
+    workload (every suite program with nests, both versions, N=32) on
+    both caches, comparing the SHARDS sampled miss-rate estimate at
+    {!Locality_sample.Sample.current_rate} against exact simulation.
+    It ends with two verdict lines against the 1-percentage-point
+    bound: [err-bound-ok] (max cell error — CI enforces it at
+    [--rate 1.0], the adaptive-budget mode where error comes only from
+    SHARDS-adj adaptation on footprints past [max_tracked]) and
+    [mean-err-ok] (mean cell error — CI enforces it at a genuine
+    sampling rate, where a program whose footprint concentrates in a
+    few cache sets can blow any per-cell bound). *)
+
+val factor : int ref
+(** Geometry multiplier used by {!render_scale} (the bench harness sets
+    it from [--scale N]); default 4, i.e. effective n = 128. *)
+
+val render_scale : unit -> string
+val render_err : Table2.row list -> string

@@ -1,0 +1,106 @@
+(* MEMORIA_REPLAY=stream — fused capture+simulate — against v2
+   capture-then-replay. The streaming mode's contract is bit-identity:
+   the run-chunk sink feeds the same chunk stream to the same simulator
+   that replay would see, so every field of the resulting run record —
+   whole-program and marked-region counts, ops, modelled times — must
+   equal the [Runs] result exactly, on every program, geometry and
+   hierarchy, without ever materialising a trace. *)
+
+open Locality_ir
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+module Measure = Locality_interp.Measure
+module Kernels = Locality_suite.Kernels
+module Programs = Locality_suite.Programs
+
+let small_assoc =
+  { Cache.name = "sa4"; size_bytes = 4096; assoc = 4; line_bytes = 64 }
+
+let tiny_dm =
+  { Cache.name = "dm"; size_bytes = 1024; assoc = 1; line_bytes = 32 }
+
+let configs = [ Machine.cache1; Machine.cache2; small_assoc; tiny_dm ]
+
+(* Every other statement label, so the marked-region (optimized) counts
+   are exercised with a nontrivial, deterministic subset. *)
+let some_labels p =
+  let rec stmts = function
+    | Loop.Stmt s -> [ s.Stmt.label ]
+    | Loop.Loop l -> List.concat_map stmts l.Loop.body
+  in
+  List.concat_map stmts p.Program.body
+  |> List.filteri (fun i _ -> i mod 2 = 0)
+
+let check_program ?params ~configs name p =
+  let labels = some_labels p in
+  let prep mode = Measure.prepare ~mode ?params ~store:None p in
+  let runs = prep Measure.Runs and stream = prep Measure.Stream in
+  List.iter
+    (fun config ->
+      let replay pr =
+        Measure.replay_prepared ~config ~optimized_labels:labels pr
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s on %s: stream = runs" name config.Cache.name)
+        true
+        (replay runs = replay stream))
+    configs
+
+(* The whole suite, both reference geometries. *)
+let test_suite_stream () =
+  List.iter
+    (fun (e : Programs.entry) ->
+      check_program ~configs:[ Machine.cache1; Machine.cache2 ]
+        e.Programs.name
+        (Programs.program_of ~n:8 e))
+    Programs.all
+
+(* Kernels across all four geometries, including the tiny direct-mapped
+   one where conflict behaviour is at its most order-sensitive. *)
+let test_kernels_stream () =
+  List.iter
+    (fun (name, p) -> check_program ~configs name p)
+    ([ ("cholesky", Kernels.cholesky 12); ("lu", Kernels.lu 12);
+       ("adi", Kernels.adi_fragment 12) ]
+    @ List.map
+        (fun o -> ("matmul-" ^ o, Kernels.matmul ~order:o 10))
+        Kernels.matmul_orders)
+
+(* Parameter overrides flow through the streaming path like any other. *)
+let test_params_stream () =
+  match Programs.find "ocean" with
+  | None -> Alcotest.fail "suite program ocean missing"
+  | Some e ->
+    check_program
+      ~params:[ ("N", 20) ]
+      ~configs:[ Machine.cache2; tiny_dm ]
+      "ocean N=20"
+      (Programs.program_of e)
+
+(* Hierarchy measurements under Stream use the same fused sink and must
+   also be field-identical. *)
+let test_hierarchy_stream () =
+  List.iter
+    (fun (name, p) ->
+      let prep mode = Measure.prepare ~mode ~store:None p in
+      let a = Measure.replay_hierarchy_prepared (prep Measure.Runs) in
+      let b = Measure.replay_hierarchy_prepared (prep Measure.Stream) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: hierarchy stream = runs" name)
+        true (a = b))
+    [
+      ("matmul", Kernels.matmul 12);
+      ("lu", Kernels.lu 12);
+      ("gmtry", Kernels.gmtry 12);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "suite programs: stream = runs" `Quick
+      test_suite_stream;
+    Alcotest.test_case "kernels x 4 geometries: stream = runs" `Quick
+      test_kernels_stream;
+    Alcotest.test_case "parameter overrides" `Quick test_params_stream;
+    Alcotest.test_case "hierarchy: stream = runs" `Quick
+      test_hierarchy_stream;
+  ]
