@@ -17,6 +17,9 @@ module Summary = Locality_obs.Summary
 module Openmetrics = Locality_obs.Openmetrics
 module Flame = Locality_obs.Flame
 module Driver = Locality_driver.Driver
+module Request = Locality_driver.Request
+module Response = Locality_driver.Response
+module Serve = Locality_serve.Serve
 module Store = Locality_store.Store
 module Telemetry = Locality_telemetry.Telemetry
 module Record = Locality_telemetry.Record
@@ -112,12 +115,7 @@ let flame_arg =
            speedscope input) to FILE.")
 
 let replay_mode_name () =
-  match Sys.getenv_opt "MEMORIA_REPLAY" with
-  | Some "per-access" -> "per-access"
-  | Some "stream" -> "stream"
-  | Some "sample" -> "sample"
-  | Some "analytic" -> "analytic"
-  | _ -> "runs"
+  Interp.Measure.mode_to_string (Interp.Measure.replay_mode ())
 
 let scale_arg =
   Arg.(
@@ -139,8 +137,6 @@ let rate_arg =
           "Sampling rate in (0, 1] for $(b,MEMORIA_REPLAY=sample): the \
            fraction of cache lines the SHARDS profiler tracks (default: \
            $(b,MEMORIA_SAMPLE_RATE) or 0.01). Ignored by the exact modes.")
-
-let set_rate rate = Option.iter Locality_sample.Sample.set_rate rate
 
 (* Tracing harness for the commands that take
    [--trace]/[--profile]/[--metrics]/[--flame]: enable recording around
@@ -419,50 +415,101 @@ let cgen_cmd =
        ~doc:"Emit the program as a self-contained C translation unit.")
     Term.(const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ opt_flag $ driver_flag)
 
+(* One Request document in, one Response line out — the serve wire
+   format on the CLI, which is what CI byte-diffs daemon replies
+   against. Serve-side fields (timeout_ms, jobs) are inert here; a
+   protocol-level failure still prints its envelope before exiting
+   non-zero so the bytes match the daemon's. *)
+let run_request_file path =
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let resp =
+    match Request.of_json text with
+    | Error message -> Response.Failed { id = ""; message }
+    | Ok req -> (
+      match Request.to_config req with
+      | Error message -> Response.Failed { id = req.Request.id; message }
+      | Ok cfg ->
+        Request.apply_rate req;
+        Response.of_run ~id:req.Request.id
+          ~emit_program:req.Request.emit_program (Driver.run cfg))
+  in
+  print_endline (Response.to_json resp);
+  match resp with Response.Failed _ -> exit 1 | _ -> ()
+
 let sim_cmd =
-  let run file kernel cls n scale rate cache trace profile metrics flame =
-    set_rate rate;
-    let target =
-      match kernel with
-      | Some k -> k
-      | None -> (
-        match file with Some f -> Filename.basename f | None -> "-")
-    in
-    let workload =
-      Printf.sprintf "sim:%s:cls=%d:n=%s:cache=%s%s" target cls
-        (match n with Some v -> string_of_int v | None -> "-")
-        cache.Locality_cachesim.Cache.name
-        (if scale = 1 then "" else Printf.sprintf ":scale=%d" scale)
-    in
-    with_obs ~cmd:"sim" ~workload
-      ~geometry:cache.Locality_cachesim.Cache.name ~jobs:1 ~trace ~profile
-      ~metrics ~flame (fun () ->
-        let src = or_die (source_of ~kernel ~file) in
-        let r =
-          or_die
-            (Driver.run (Driver.config ?n ~scale ~cls ~machines:[ cache ] src))
-        in
-        let m = List.hd r.Driver.measured in
-        let before = m.Driver.original_run
-        and after = m.Driver.transformed_run in
-        Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
-        Printf.printf "original:    %8.4f modelled s, %6s%% hits\n"
-          before.Interp.Measure.seconds
-          (Stats.Report.fmt_pct
-             (Interp.Measure.hit_rate before.Interp.Measure.whole));
-        Printf.printf "transformed: %8.4f modelled s, %6s%% hits\n"
-          after.Interp.Measure.seconds
-          (Stats.Report.fmt_pct
-             (Interp.Measure.hit_rate after.Interp.Measure.whole));
-        Printf.printf "speedup: %.2fx\n" m.Driver.speedup)
+  let run file kernel cls n scale rate cache request trace profile metrics
+      flame =
+    match request with
+    | Some path ->
+      with_obs ~cmd:"sim"
+        ~workload:("sim:request:" ^ Filename.basename path) ~geometry:"-"
+        ~jobs:1 ~trace ~profile ~metrics ~flame (fun () ->
+          run_request_file path)
+    | None ->
+      let target =
+        match kernel with
+        | Some k -> k
+        | None -> (
+          match file with Some f -> Filename.basename f | None -> "-")
+      in
+      let workload =
+        Printf.sprintf "sim:%s:cls=%d:n=%s:cache=%s%s" target cls
+          (match n with Some v -> string_of_int v | None -> "-")
+          cache.Locality_cachesim.Cache.name
+          (if scale = 1 then "" else Printf.sprintf ":scale=%d" scale)
+      in
+      with_obs ~cmd:"sim" ~workload
+        ~geometry:cache.Locality_cachesim.Cache.name ~jobs:1 ~trace ~profile
+        ~metrics ~flame (fun () ->
+          let source =
+            match (kernel, file) with
+            | Some name, _ -> Request.Kernel name
+            | None, Some path -> Request.File path
+            | None, None -> or_die (Error "give a FILE or --kernel NAME")
+          in
+          let req =
+            Request.make ?n ~scale ~cls
+              ~machines:[ Request.machine_of_config cache ]
+              ?sample_rate:rate source
+          in
+          Request.apply_rate req;
+          let r = or_die (Driver.run (or_die (Request.to_config req))) in
+          let m = List.hd r.Driver.measured in
+          let before = m.Driver.original_run
+          and after = m.Driver.transformed_run in
+          Printf.printf "cache: %s\n" cache.Locality_cachesim.Cache.name;
+          Printf.printf "original:    %8.4f modelled s, %6s%% hits\n"
+            before.Interp.Measure.seconds
+            (Stats.Report.fmt_pct
+               (Interp.Measure.hit_rate before.Interp.Measure.whole));
+          Printf.printf "transformed: %8.4f modelled s, %6s%% hits\n"
+            after.Interp.Measure.seconds
+            (Stats.Report.fmt_pct
+               (Interp.Measure.hit_rate after.Interp.Measure.whole));
+          Printf.printf "speedup: %.2fx\n" m.Driver.speedup)
+  in
+  let request_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "request" ] ~docv:"FILE"
+          ~doc:
+            "Run one serve-protocol request document (doc/PROTOCOL.md) and \
+             print the response line — exactly what $(b,memoria serve) \
+             would say for the same body. Other input flags are ignored.")
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Simulate cache behaviour of the original and optimized program.")
     Term.(
       const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ scale_arg
-      $ rate_arg $ cache_arg $ trace_arg $ profile_arg $ metrics_arg
-      $ flame_arg)
+      $ rate_arg $ cache_arg $ request_arg $ trace_arg $ profile_arg
+      $ metrics_arg $ flame_arg)
 
 let explain_cmd =
   let run file kernel cls n json interference_limit compare cache metrics =
@@ -652,7 +699,6 @@ let kernels_cmd =
 
 let suite_cmd =
   let run cls n scale rate jobs trace profile metrics flame =
-    set_rate rate;
     let n = Option.value n ~default:64 in
     let module Pool = Locality_par.Pool in
     let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
@@ -666,20 +712,26 @@ let suite_cmd =
           Pool.map ~jobs
             (fun (name, _) ->
               Obs.span ("kernel:" ^ name) (fun () ->
-                  let cfg =
-                    Driver.config ~n ~scale ~cls
-                      ~machines:[ Machine.cache1; Machine.cache2 ]
-                      (Driver.Source_kernel name)
+                  let req =
+                    Request.make ~n ~scale ~cls
+                      ~machines:[ Request.Named "cache1"; Request.Named "cache2" ]
+                      ?sample_rate:rate ~jobs (Request.Kernel name)
                   in
-                  match Driver.run cfg with
-                  | Error msg -> Error (name, msg)
+                  (* Driver.run's errors already carry the kernel name
+                     ("<name>: <detail>"); rows forward them verbatim. *)
+                  match
+                    Result.bind (Request.to_config req) (fun cfg ->
+                        Request.apply_rate req;
+                        Driver.run cfg)
+                  with
+                  | Error msg -> Error msg
                   | Ok { Driver.measured = [ m1; m2 ]; _ } ->
                     Ok
                       (Printf.sprintf "%-16s %10.4f %10.4f %9.2fx %9.2fx" name
                          m1.Driver.original_run.Interp.Measure.seconds
                          m1.Driver.transformed_run.Interp.Measure.seconds
                          m1.Driver.speedup m2.Driver.speedup)
-                  | Ok _ -> Error (name, "unexpected measurement shape")))
+                  | Ok _ -> Error (name ^ ": unexpected measurement shape")))
             Suite.Kernels.all)
     in
     Printf.printf "; n=%d cls=%d jobs=%d (each kernel interpreted once per \
@@ -689,14 +741,10 @@ let suite_cmd =
       "speedup1" "speedup2";
     List.iter (function Ok line -> print_endline line | Error _ -> ()) rows;
     let failures =
-      List.filter_map
-        (function Ok _ -> None | Error (name, msg) -> Some (name, msg))
-        rows
+      List.filter_map (function Ok _ -> None | Error msg -> Some msg) rows
     in
     if failures <> [] then begin
-      List.iter
-        (fun (name, msg) -> Printf.eprintf "memoria: %s failed: %s\n" name msg)
-        failures;
+      List.iter (fun msg -> Printf.eprintf "memoria: %s\n" msg) failures;
       exit 1
     end
   in
@@ -787,10 +835,19 @@ let store_cmd =
         & info [ "max-bytes" ] ~docv:"BYTES"
             ~doc:"Target store size; least-recently-used entries go first.")
     in
-    let run dir max_bytes metrics =
+    let min_age_arg =
+      Arg.(
+        value & opt float 0.
+        & info [ "min-age" ] ~docv:"SECONDS"
+            ~doc:
+              "Never evict entries younger than this many seconds, even when \
+               the store stays over $(b,--max-bytes) — protects objects a \
+               concurrent run (e.g. a serve worker) just published.")
+    in
+    let run dir max_bytes min_age metrics =
       with_store_obs ~sub:"gc" ~metrics (fun () ->
           let s = get_store dir in
-          let deleted, remaining = Store.gc s ~max_bytes in
+          let deleted, remaining = Store.gc ~min_age_s:min_age s ~max_bytes in
           Printf.printf "deleted: %d\nbytes: %d (%s)\n" deleted remaining
             (human_bytes remaining))
     in
@@ -798,8 +855,9 @@ let store_cmd =
       (Cmd.info "gc"
          ~doc:
            "Empty the quarantine and evict least-recently-used entries until \
-            the store fits in $(b,--max-bytes).")
-      Term.(const run $ dir_arg $ max_bytes_arg $ metrics_arg)
+            the store fits in $(b,--max-bytes); $(b,--min-age) exempts the \
+            newest entries.")
+      Term.(const run $ dir_arg $ max_bytes_arg $ min_age_arg $ metrics_arg)
   in
   Cmd.group
     (Cmd.info "store"
@@ -809,6 +867,133 @@ let store_cmd =
           results keyed by program text, transform configuration and cache \
           geometry.")
     [ stats_cmd; verify_cmd; gc_cmd ]
+
+let serve_cmd =
+  let run socket stdio jobs max_queue timeout_ms retry_after_ms gc_every
+      gc_max_bytes gc_min_age trace profile metrics flame =
+    let listen =
+      match (socket, stdio) with
+      | Some path, false -> Serve.Socket path
+      | None, true -> Serve.Stdio
+      | Some _, true -> or_die (Error "give --socket PATH or --stdio, not both")
+      | None, false -> or_die (Error "give --socket PATH or --stdio")
+    in
+    let options =
+      {
+        Serve.default_options with
+        Serve.jobs;
+        max_queue;
+        default_timeout_ms = timeout_ms;
+        retry_after_ms;
+        gc_every_s = gc_every;
+        gc_max_bytes;
+        gc_min_age_s = gc_min_age;
+      }
+    in
+    let jobs_resolved =
+      match jobs with
+      | Some j -> j
+      | None -> Locality_par.Pool.default_jobs ()
+    in
+    let workload =
+      match listen with
+      | Serve.Socket _ -> "serve:socket"
+      | Serve.Stdio -> "serve:stdio"
+    in
+    with_obs ~cmd:"serve" ~workload ~geometry:"-" ~jobs:jobs_resolved ~trace
+      ~profile ~metrics ~flame (fun () ->
+        let t = Serve.create ~options listen in
+        Serve.install_signal_handlers t;
+        Serve.run t)
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at PATH (created; unlinked on \
+                exit).")
+  in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve stdin to stdout instead of a socket; EOF drains and \
+                exits.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker-domain count (default: $(b,MEMORIA_JOBS) or the \
+             recommended domain count).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int Serve.default_options.Serve.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "In-flight request bound; beyond it clients get an immediate \
+             $(b,overloaded) response with a retry hint.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt int Serve.default_options.Serve.default_timeout_ms
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline for requests that carry none; 0 \
+             means unbounded. Expired requests get a typed $(b,timeout) \
+             response.")
+  in
+  let retry_after_arg =
+    Arg.(
+      value
+      & opt int Serve.default_options.Serve.retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Retry hint carried by $(b,overloaded) responses.")
+  in
+  let gc_every_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "gc-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Run $(b,store gc) over the ambient store ($(b,MEMORIA_STORE)) \
+             every SECONDS while serving; 0 disables the tick.")
+  in
+  let gc_max_bytes_arg =
+    Arg.(
+      value
+      & opt int Serve.default_options.Serve.gc_max_bytes
+      & info [ "gc-max-bytes" ] ~docv:"BYTES"
+          ~doc:"Store size target for the periodic gc tick.")
+  in
+  let gc_min_age_arg =
+    Arg.(
+      value
+      & opt float Serve.default_options.Serve.gc_min_age_s
+      & info [ "gc-min-age" ] ~docv:"SECONDS"
+          ~doc:
+            "Entries younger than this survive every gc tick (see \
+             $(b,memoria store gc --min-age)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: accept line-delimited request documents \
+          (doc/PROTOCOL.md) over a Unix-domain socket or stdio, dispatch \
+          them across a persistent worker-domain pool sharing the warm \
+          $(b,MEMORIA_STORE), and answer each with one typed response line. \
+          Identical in-flight requests are computed once; deadlines, queue \
+          bounds and shutdown drain all answer with typed responses. \
+          SIGINT/SIGTERM drain gracefully.")
+    Term.(
+      const run $ socket_arg $ stdio_arg $ jobs_arg $ max_queue_arg
+      $ timeout_arg $ retry_after_arg $ gc_every_arg $ gc_max_bytes_arg
+      $ gc_min_age_arg $ trace_arg $ profile_arg $ metrics_arg $ flame_arg)
 
 let fuzz_cmd =
   let module Fuzz = Locality_fuzz in
@@ -1066,7 +1251,8 @@ let main =
          ])
     [
       opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
-      cgen_cmd; kernels_cmd; suite_cmd; fuzz_cmd; store_cmd; health_cmd;
+      cgen_cmd; kernels_cmd; suite_cmd; serve_cmd; fuzz_cmd; store_cmd;
+      health_cmd;
     ]
 
 let () = exit (Cmd.eval main)

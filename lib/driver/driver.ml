@@ -12,6 +12,7 @@ module Obs = Locality_obs.Obs
 type source =
   | Source_program of { name : string; program : Program.t }
   | Source_file of string
+  | Source_text of { name : string; text : string }
   | Source_kernel of string
   | Source_suite of string
   | Source_entry of Suite.Programs.entry
@@ -75,6 +76,36 @@ let override_params n (p : Program.t) =
 
 let resize n p = match n with None -> p | Some n -> override_params n p
 
+(* Every error leaving this module reads "<name>:<detail>" with the
+   source name appearing exactly once — the stable format the wire
+   protocol (doc/PROTOCOL.md) and [memoria suite] print verbatim.
+   Messages that already carry the prefix (a [Sys_error] from opening
+   the file, the lexer's "path:line:col:" diagnostics) pass through
+   untouched. *)
+let named_error name msg =
+  let prefix = name ^ ":" in
+  let n = String.length prefix in
+  if String.length msg >= n && String.sub msg 0 n = prefix then msg
+  else Printf.sprintf "%s: %s" name msg
+
+let parse_text ~name text =
+  try
+    let p =
+      Obs.span "parse" ~args:[ ("file", name) ] (fun () ->
+          Locality_lang.Lower.parse_program text)
+    in
+    Ok p
+  with
+  | Locality_lang.Lexer.Error (msg, loc) ->
+    Error
+      (Printf.sprintf "%s:%s: lexical error: %s" name
+         (Locality_lang.Lexer.pp_loc loc) msg)
+  | Locality_lang.Parser.Error (msg, loc) ->
+    Error
+      (Printf.sprintf "%s:%s: syntax error: %s" name
+         (Locality_lang.Lexer.pp_loc loc) msg)
+  | Locality_lang.Lower.Error msg -> Error (named_error name msg)
+
 let load ?n source =
   match source with
   | Source_program { name; program } -> Ok (name, resize n program)
@@ -83,34 +114,21 @@ let load ?n source =
     | Some mk -> Ok (name, mk (Option.value n ~default:64))
     | None ->
       Error
-        (Printf.sprintf "unknown kernel %s (try: %s)" name
+        (Printf.sprintf "%s: unknown kernel (try: %s)" name
            (String.concat ", " (List.map fst Suite.Kernels.all))))
   | Source_suite name -> (
     match Suite.Programs.find name with
     | Some e -> Ok (name, Suite.Programs.program_of ?n e)
     | None ->
       Error
-        (Printf.sprintf "unknown suite program %s (see Programs.all)" name))
+        (Printf.sprintf "%s: unknown suite program (see Programs.all)" name))
   | Source_entry e -> Ok (e.Suite.Programs.name, Suite.Programs.program_of ?n e)
+  | Source_text { name; text } ->
+    Result.map (fun p -> (name, resize n p)) (parse_text ~name text)
   | Source_file path -> (
-    try
-      let p =
-        Obs.span "parse" ~args:[ ("file", path) ] (fun () ->
-            Locality_lang.Lower.parse_program (read_file path))
-      in
-      Ok (path, resize n p)
-    with
-    | Sys_error msg -> Error msg
-    | Locality_lang.Lexer.Error (msg, loc) ->
-      Error
-        (Printf.sprintf "%s:%s: lexical error: %s" path
-           (Locality_lang.Lexer.pp_loc loc) msg)
-    | Locality_lang.Parser.Error (msg, loc) ->
-      Error
-        (Printf.sprintf "%s:%s: syntax error: %s" path
-           (Locality_lang.Lexer.pp_loc loc) msg)
-    | Locality_lang.Lower.Error msg ->
-      Error (Printf.sprintf "%s: %s" path msg))
+    match read_file path with
+    | exception Sys_error msg -> Error (named_error path msg)
+    | text -> Result.map (fun p -> (path, resize n p)) (parse_text ~name:path text))
 
 (* ------------------------------------------------------------ run --- *)
 
@@ -216,7 +234,7 @@ let run cfg =
   | Error msg -> Error msg
   | Ok (name, program) -> (
     try Ok (run_loaded cfg name program)
-    with e -> Error (Printf.sprintf "%s: %s" name (Printexc.to_string e)))
+    with e -> Error (named_error name (Printexc.to_string e)))
 
 let run_exn cfg = match run cfg with Ok r -> r | Error msg -> failwith msg
 let run_many ?jobs cfgs = Locality_par.Pool.map ?jobs run cfgs

@@ -24,6 +24,9 @@ type source =
   | Source_program of { name : string; program : Program.t }
       (** An already-built program. *)
   | Source_file of string  (** A mini-language source file. *)
+  | Source_text of { name : string; text : string }
+      (** Mini-language source already in memory — what a wire request
+          carries ({!Request}); [name] labels diagnostics and results. *)
   | Source_kernel of string  (** A {!Locality_suite.Kernels} name. *)
   | Source_suite of string  (** A {!Locality_suite.Programs} name. *)
   | Source_entry of Locality_suite.Programs.entry
@@ -106,13 +109,16 @@ type result = {
 
 val load : ?n:int -> source -> (string * Program.t, string) Stdlib.result
 (** Resolve a source to a named program. Errors (unknown kernel or
-    suite name, unreadable or unparsable file) come back as the
-    human-readable messages the CLI used to format itself. *)
+    suite name, unreadable or unparsable file) follow the same
+    ["<name>:<detail>"] contract as {!run}. *)
 
 val run : config -> (result, string) Stdlib.result
-(** The whole pipeline. Any exception escaping a stage is returned as
-    [Error "<name>: <message>"] so batch callers ([memoria suite]) can
-    keep going and report a trustworthy exit code. *)
+(** The whole pipeline. Every error — load failures and exceptions
+    escaping any later stage alike — reads ["<name>:<detail>"], with
+    the source name appearing exactly once (parse diagnostics extend
+    the prefix to ["<name>:line:col:"]). Batch callers ([memoria
+    suite], the serve daemon) print or forward the message verbatim,
+    never re-prefixing, so the wire error envelope is stable. *)
 
 val run_exn : config -> result
 (** {!run}, raising [Failure] on error — for generators whose inputs

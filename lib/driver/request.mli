@@ -1,0 +1,131 @@
+(** The typed, wire-serializable request API of the Driver pipeline.
+
+    A {!t} is a serializable mirror of {!Driver.config}: everything the
+    pipeline used to take from environment variables — replay mode,
+    sample rate, geometry scale, job count, store root — is an explicit
+    typed field with a documented default. The JSON form (read by
+    {!of_json} via {!Locality_telemetry.Jsonin}, written by {!to_json}
+    via the shared [Stats.Json] emitter) is the body of the [memoria
+    serve] line protocol and of [memoria sim --request FILE]; the
+    schema is documented in [doc/SCHEMA.md] and [doc/PROTOCOL.md] and
+    carries [schema_version].
+
+    Reading is strict: an unknown field anywhere in the document is
+    rejected with a [line:col]-prefixed diagnostic (like the language
+    front end's parser errors), as are type mismatches and unsupported
+    schema versions. Adding optional fields is a compatible change;
+    consumers of {!to_json} must ignore unknown keys. *)
+
+module Cache = Locality_cachesim.Cache
+module Measure = Locality_interp.Measure
+module Store = Locality_store.Store
+
+type source =
+  | Kernel of string  (** {!Driver.Source_kernel} *)
+  | Suite of string  (** {!Driver.Source_suite} *)
+  | File of string  (** {!Driver.Source_file} — resolved server-side *)
+  | Text of { name : string; text : string }
+      (** Inline mini-language source ({!Driver.Source_text}) — how a
+          remote client ships a program it holds. *)
+
+type transform =
+  | Keep
+  | Compound of { try_reversal : bool option; interference_limit : int option }
+      (** The serializable subset of {!Driver.transform};
+          [Driver.Provided] carries an in-memory program and has no
+          wire form. *)
+
+type machine =
+  | Named of string
+      (** A preset geometry: ["cache1"] (RS/6000) or ["cache2"] (i860),
+          see {!named_machines}. *)
+  | Custom of Cache.config  (** An explicit geometry. *)
+
+type store_choice =
+  | Ambient  (** whatever [MEMORIA_STORE] names — the default *)
+  | No_store  (** disable caching for this request *)
+  | Root of string  (** an explicit store root *)
+
+type t = {
+  id : string;  (** client correlation token, echoed in the response *)
+  source : source;
+  n : int option;
+  scale : int;
+  cls : int;
+  transform : transform;
+  machines : machine list;  (** empty = analysis only *)
+  params : (string * int) list;
+  replay : Measure.replay_mode option;  (** [None] = ambient [MEMORIA_REPLAY] *)
+  sample_rate : float option;
+      (** SHARDS rate for the [sample] replay mode. Applied with
+          {!apply_rate}; the rate is a process-wide setting, so a server
+          mixing concurrent requests with {e different} explicit rates
+          is unsupported (doc/PROTOCOL.md). *)
+  use_labels : bool;
+  store : store_choice;
+  jobs : int option;
+      (** Dispatch-width hint for batch callers ([memoria suite]); a
+          single {!Driver.run} ignores it. *)
+  timeout_ms : int option;
+      (** Serve-side deadline; [Some 0] means already expired (the
+          deterministic way to ask for a typed timeout response). *)
+  emit_program : bool;  (** include the transformed program text in the
+                            response *)
+}
+
+val make :
+  ?id:string ->
+  ?n:int ->
+  ?scale:int ->
+  ?cls:int ->
+  ?transform:transform ->
+  ?machines:machine list ->
+  ?params:(string * int) list ->
+  ?replay:Measure.replay_mode ->
+  ?sample_rate:float ->
+  ?use_labels:bool ->
+  ?store:store_choice ->
+  ?jobs:int ->
+  ?timeout_ms:int ->
+  ?emit_program:bool ->
+  source ->
+  t
+(** Defaults mirror {!Driver.config}'s: empty id, no size override,
+    [scale = 1], [cls = 4], {!Compound} with neither knob set, no
+    machines, no params, ambient replay and store, no rate, no labels,
+    no jobs hint, no timeout, no program echo. *)
+
+val named_machines : (string * Cache.config) list
+(** The preset geometries reachable by name: [("cache1",
+    Machine.cache1); ("cache2", Machine.cache2)]. *)
+
+val machine_of_config : Cache.config -> machine
+(** [Named] when the config structurally equals a preset, [Custom]
+    otherwise — how flag-built configs round-trip into requests. *)
+
+val to_json : t -> string
+(** The canonical wire form: one line, no trailing newline, every field
+    present (absent optionals as [null]), fields in schema order. Two
+    equal requests always serialize to equal bytes. *)
+
+val of_json : string -> (t, string) Stdlib.result
+(** Parse and validate a request document. Errors are single-line
+    diagnostics: malformed JSON as ["request: ..."], unknown fields and
+    type mismatches as ["line:col: ..."] pointing at the offending
+    key. *)
+
+val fingerprint : t -> string
+(** The request's compute identity: {!to_json} of the request with
+    [id], [timeout_ms], [jobs] and [emit_program] neutralized — equal
+    fingerprints get identical {!Driver.result}s, which is what the
+    serve daemon batches on. *)
+
+val to_config : t -> (Driver.config, string) Stdlib.result
+(** Resolve to a runnable {!Driver.config}: look up named machines,
+    validate custom geometries (positive sizes, power-of-two line,
+    size divisible by [line * assoc]), open the store. Errors follow
+    the ["request: <detail>"] format. *)
+
+val apply_rate : t -> unit
+(** Publish [sample_rate] as the process-wide SHARDS rate
+    ({!Locality_sample.Sample.set_rate}) when set; no-op otherwise. *)

@@ -54,13 +54,28 @@ let hit_rate ?exclude_cold r =
 
 type replay_mode = Per_access | Runs | Stream | Sampled | Analytic
 
+let mode_of_string = function
+  | "per-access" -> Some Per_access
+  | "runs" -> Some Runs
+  | "stream" -> Some Stream
+  | "sample" -> Some Sampled
+  | "analytic" -> Some Analytic
+  | _ -> None
+
+let mode_to_string = function
+  | Per_access -> "per-access"
+  | Runs -> "runs"
+  | Stream -> "stream"
+  | Sampled -> "sample"
+  | Analytic -> "analytic"
+
 let replay_mode () =
   match Sys.getenv_opt "MEMORIA_REPLAY" with
-  | Some "per-access" -> Per_access
-  | Some "stream" -> Stream
-  | Some "sample" -> Sampled
-  | Some "analytic" -> Analytic
-  | Some _ | None -> Runs
+  (* Lenient on purpose: an unrecognized value falls back to the v2
+     default rather than failing every entry point. The wire API
+     ([Driver.Request]) is the strict surface. *)
+  | Some s -> Option.value (mode_of_string s) ~default:Runs
+  | None -> Runs
 
 type traced = V1 of Trace.captured | V2 of Trace.captured_runs
 

@@ -88,6 +88,14 @@ val replay_mode : unit -> replay_mode
     ["sample"] selects sampled profiling; ["analytic"] the closed-form
     model; any other value, or unset, selects v2 capture-and-replay. *)
 
+val mode_of_string : string -> replay_mode option
+(** Strict parse of the mode names above ([None] on anything else) —
+    the wire-API ([Driver.Request]) and CLI surface. *)
+
+val mode_to_string : replay_mode -> string
+(** Inverse of {!mode_of_string}; these strings are the documented
+    protocol values. *)
+
 type capture
 (** A program's batched address trace plus its operation count: the
     program is interpreted once ({!capture}) and the trace replayed

@@ -92,3 +92,74 @@ let map_reduce ?jobs ~map:f ~combine ~init items =
   (* The fold is sequential and in input order, so the result is
      independent of the pool size. *)
   List.fold_left combine init (map ?jobs f items)
+
+(* ------------------------------------------------ persistent pool --- *)
+
+(* A long-lived variant for services: worker domains block on a
+   condition variable and drain a FIFO of thunks, so submission costs a
+   lock round-trip instead of a domain spawn. Used by [memoria serve],
+   whose requests arrive one at a time rather than as a batch. *)
+
+type pool = {
+  p_jobs : int;
+  p_lock : Mutex.t;
+  p_nonempty : Condition.t;
+  p_queue : (unit -> unit) Queue.t;
+  mutable p_stop : bool;
+  mutable p_domains : unit Domain.t list;
+}
+
+let worker p () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock p.p_lock;
+    while Queue.is_empty p.p_queue && not p.p_stop do
+      Condition.wait p.p_nonempty p.p_lock
+    done;
+    match Queue.take_opt p.p_queue with
+    | None ->
+      (* stopped and drained *)
+      Mutex.unlock p.p_lock
+    | Some job ->
+      Mutex.unlock p.p_lock;
+      (* A job must not take the pool down: the submitter is expected to
+         wrap its own error reporting; anything escaping is dropped. *)
+      (try job () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let p =
+    {
+      p_jobs = jobs;
+      p_lock = Mutex.create ();
+      p_nonempty = Condition.create ();
+      p_queue = Queue.create ();
+      p_stop = false;
+      p_domains = [];
+    }
+  in
+  p.p_domains <- List.init jobs (fun _ -> Domain.spawn (worker p));
+  p
+
+let pool_jobs p = p.p_jobs
+
+let submit p job =
+  Mutex.lock p.p_lock;
+  if p.p_stop then begin
+    Mutex.unlock p.p_lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job p.p_queue;
+  Condition.signal p.p_nonempty;
+  Mutex.unlock p.p_lock
+
+let shutdown p =
+  Mutex.lock p.p_lock;
+  p.p_stop <- true;
+  Condition.broadcast p.p_nonempty;
+  Mutex.unlock p.p_lock;
+  List.iter Domain.join p.p_domains;
+  p.p_domains <- []

@@ -47,3 +47,29 @@ val map_reduce :
   'acc
 (** Parallel map followed by a sequential in-order fold, so the result
     does not depend on the pool size. *)
+
+(** {1 Persistent pool}
+
+    A long-lived worker-domain pool for services ([memoria serve]):
+    requests arrive one at a time, so spawning domains per batch (as
+    {!map} does) would dominate the warm-path latency. Workers set the
+    same nested-pool guard as {!map}'s, so jobs that call {!map}
+    internally run it sequentially. *)
+
+type pool
+
+val create : ?jobs:int -> unit -> pool
+(** Spawn the worker domains ([?jobs] defaults like {!map}'s). Create
+    the pool {e after} {!Locality_obs.Obs.set_enabled} so workers see
+    the tracing flag. *)
+
+val pool_jobs : pool -> int
+
+val submit : pool -> (unit -> unit) -> unit
+(** Enqueue a job; it runs on some worker in FIFO order. Exceptions
+    escaping the job are dropped — report errors inside it. @raise
+    Invalid_argument after {!shutdown}. *)
+
+val shutdown : pool -> unit
+(** Stop accepting work, finish every queued job, and join the
+    workers. Idempotent-safe to call once only. *)

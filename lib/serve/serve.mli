@@ -1,0 +1,83 @@
+(** Memoria-as-a-service: the long-running analysis daemon behind
+    [memoria serve].
+
+    The server speaks line-delimited JSON — one {!Locality_driver.Request}
+    per line in, one {!Locality_driver.Response} per line out — over a
+    Unix-domain socket ({!Socket}) or the process's stdin/stdout
+    ({!Stdio}, for piping). Responses carry the request's [id] and are
+    not ordered across requests; clients multiplexing one connection
+    match on the id. The wire contract is documented in
+    [doc/PROTOCOL.md].
+
+    One event-loop thread owns all I/O (accept, line framing, deadline
+    and gc bookkeeping); compute is dispatched to a persistent
+    {!Locality_par.Pool.pool} of worker domains, so concurrent requests
+    simulate in parallel while sharing the process-wide warm state: one
+    ambient [MEMORIA_STORE] (warm requests are answered from the store
+    without re-capture) and one resolved configuration.
+
+    Real-service behaviours, all observable as typed responses and
+    [serve.*] counters:
+
+    - {b Timeouts}: a request's [timeout_ms] (or the server default)
+      starts a deadline at arrival; when it passes before a result is
+      ready — queued or mid-compute — the client gets the typed
+      ["timeout"] response and the eventual result is discarded.
+      [timeout_ms = 0] expires immediately (the deterministic probe).
+    - {b Backpressure}: at most [max_queue] requests may be in flight;
+      beyond that the client immediately gets ["overloaded"] with a
+      [retry_after_ms] hint rather than unbounded queueing.
+    - {b Batching}: requests with equal
+      {!Locality_driver.Request.fingerprint}s in flight at once are
+      computed once and answered to every waiter.
+    - {b Graceful drain}: {!stop} (wired to SIGINT/SIGTERM by
+      {!install_signal_handlers}) stops accepting work, answers
+      everything in flight, then returns from {!run}.
+    - {b Maintenance}: an optional periodic {!Locality_store.Store.gc}
+      tick over the ambient store, with a minimum entry age so a
+      just-published object racing the tick is never evicted. *)
+
+type listen =
+  | Socket of string  (** Unix-domain socket path (created, later unlinked). *)
+  | Stdio  (** Serve stdin→stdout; EOF on stdin drains and returns. *)
+
+type options = {
+  jobs : int option;
+      (** Worker domains; [None] = {!Locality_par.Pool.default_jobs}. *)
+  max_queue : int;  (** In-flight bound (queued + running). *)
+  default_timeout_ms : int;
+      (** Deadline for requests that carry none; [0] = unbounded. *)
+  retry_after_ms : int;  (** Hint in ["overloaded"] responses. *)
+  gc_every_s : float;  (** Store gc period; [0.] disables the tick. *)
+  gc_max_bytes : int;  (** Store size target for the tick. *)
+  gc_min_age_s : float;
+      (** Entries younger than this survive every tick
+          ({!Locality_store.Store.gc}'s [min_age_s]). *)
+  max_line_bytes : int;
+      (** Request lines longer than this are rejected and the
+          connection closed. *)
+}
+
+val default_options : options
+(** Ambient jobs, [max_queue = 64], no default timeout,
+    [retry_after_ms = 100], gc tick off ([gc_every_s = 0.], 256 MiB
+    target, 60 s min age when enabled), 8 MiB line limit. *)
+
+type t
+
+val create : ?options:options -> listen -> t
+(** Build a server. Nothing is bound or spawned until {!run}. *)
+
+val run : t -> unit
+(** Bind, spawn the worker pool, and serve until {!stop} (or EOF under
+    {!Stdio}); drains in-flight work before returning. The calling
+    thread becomes the event loop. @raise Unix.Unix_error when the
+    socket cannot be bound. *)
+
+val stop : t -> unit
+(** Ask a running server to drain and return; safe from any thread or
+    signal handler, idempotent. *)
+
+val install_signal_handlers : t -> unit
+(** SIGINT/SIGTERM → {!stop}; SIGPIPE ignored (a client hanging up
+    mid-response must not kill the server). Call before {!run}. *)

@@ -2,6 +2,7 @@
    sweep — see scale.mli. *)
 
 module D = Locality_driver.Driver
+module Request = Locality_driver.Request
 module Measure = Locality_interp.Measure
 module Machine = Locality_cachesim.Machine
 module Cache = Locality_cachesim.Cache
@@ -43,9 +44,17 @@ let render_scale () =
   List.iter
     (fun kernel ->
       let run mode =
-        D.run_exn
-          (D.config ~n:32 ~scale:f ~replay:mode ~machines:caches
-             (D.Source_kernel kernel))
+        (* Through the typed request API, like every other batch caller:
+           the presets round-trip to Named machines, so the request is
+           exactly what a serve client would send for this row. *)
+        let req =
+          Request.make ~n:32 ~scale:f ~replay:mode
+            ~machines:(List.map Request.machine_of_config caches)
+            (Request.Kernel kernel)
+        in
+        match Request.to_config req with
+        | Ok cfg -> D.run_exn cfg
+        | Error msg -> failwith msg
       in
       let exact = run Measure.Runs in
       let streamed = run Measure.Stream in

@@ -293,7 +293,7 @@ let verify t =
         incr bad);
   (!ok, !bad)
 
-let gc t ~max_bytes =
+let gc ?(min_age_s = 0.) t ~max_bytes =
   (* Quarantined entries are dead weight either way. *)
   (try
      Array.iter
@@ -303,10 +303,16 @@ let gc t ~max_bytes =
    with _ -> ());
   let files = ref [] in
   let total = ref 0 in
+  (* A just-written entry is the hottest thing in the store: read-touch
+     keeps warm entries fresh, but a writer racing the tick has an mtime
+     of "now" and must never lose to eviction.  Entries younger than
+     [min_age_s] are counted toward the total yet exempt from removal. *)
+  let cutoff = Unix.gettimeofday () -. min_age_s in
   iter_objects t (fun path ->
       match Unix.stat path with
       | st ->
-        files := (st.Unix.st_mtime, st.Unix.st_size, path) :: !files;
+        if st.Unix.st_mtime <= cutoff then
+          files := (st.Unix.st_mtime, st.Unix.st_size, path) :: !files;
         total := !total + st.Unix.st_size
       | exception _ -> ());
   let oldest_first =

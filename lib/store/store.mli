@@ -133,7 +133,12 @@ val verify : t -> int * int
 (** Validate every entry's footer and checksum; quarantine failures.
     Returns [(ok, quarantined)]. *)
 
-val gc : t -> max_bytes:int -> int * int
+val gc : ?min_age_s:float -> t -> max_bytes:int -> int * int
 (** Evict least-recently-used entries (mtime order, oldest first) until
     the objects directory holds at most [max_bytes]; also empties the
-    quarantine. Returns [(deleted, remaining_bytes)]. *)
+    quarantine. Returns [(deleted, remaining_bytes)]. Entries whose
+    mtime is younger than [min_age_s] seconds (default [0.]) are never
+    evicted, so a concurrent writer — e.g. a serve worker publishing a
+    result as the gc tick fires — cannot have its object collected
+    before any reader sees it; the returned remaining byte count still
+    includes them, and may therefore exceed [max_bytes]. *)

@@ -17,7 +17,14 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
-type state = { src : string; mutable pos : int }
+type state = {
+  src : string;
+  mutable pos : int;
+  (* Byte offset of every object key parsed, newest first — the request
+     reader ([Locality_driver.Request]) turns these into line:col
+     positions for its unknown-field diagnostics. *)
+  mutable keys : (string * int) list;
+}
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -120,7 +127,9 @@ let rec parse_value st =
     else begin
       let rec members acc =
         skip_ws st;
+        let key_pos = st.pos in
         let k = parse_string st in
+        st.keys <- (k, key_pos) :: st.keys;
         skip_ws st;
         expect st ':';
         let v = parse_value st in
@@ -164,14 +173,27 @@ let rec parse_value st =
   | Some 'n' -> literal st "null" Null
   | Some _ -> parse_number st
 
-let parse src =
-  let st = { src; pos = 0 } in
+let parse_keyed src =
+  let st = { src; pos = 0; keys = [] } in
   let v = parse_value st in
   skip_ws st;
   if st.pos <> String.length src then fail "trailing garbage at %d" st.pos;
-  v
+  (v, List.rev st.keys)
+
+let parse src = fst (parse_keyed src)
 
 let parse_opt src = try Some (parse src) with Parse_error _ -> None
+
+let line_col src pos =
+  let pos = min (max pos 0) (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
 
 (* ---------------------------------------------------- accessors --- *)
 

@@ -18,6 +18,16 @@ val parse : string -> t
 
 val parse_opt : string -> t option
 
+val parse_keyed : string -> t * (string * int) list
+(** {!parse}, also returning every object key with its byte offset in
+    document order — enough for a consumer with a fixed schema (the
+    [Driver.Request] reader) to point diagnostics at the offending
+    field. *)
+
+val line_col : string -> int -> int * int
+(** [(line, col)] of a byte offset, both 1-based; offsets are clamped
+    into the document. *)
+
 val member : string -> t -> t option
 (** Field lookup; [None] on non-objects and missing keys. *)
 

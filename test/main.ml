@@ -25,4 +25,5 @@ let () =
       ("analytic", Test_analytic.suite);
       ("stream", Test_stream.suite);
       ("sample", Test_sample.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -258,6 +258,29 @@ let test_gc_lru () =
       check "recently-read entry survives the second gc" true
         (alive (List.nth keys 2)))
 
+let test_gc_min_age () =
+  with_store (fun st ->
+      let payload = String.make 1000 'x' in
+      let old_k = Store.key ~kind:"age" [ "old" ]
+      and new_k = Store.key ~kind:"age" [ "new" ] in
+      Store.put st old_k payload;
+      let t = Unix.gettimeofday () -. 3600. in
+      Unix.utimes (Store.object_path st old_k) t t;
+      Store.put st new_k payload;
+      let alive k = Sys.file_exists (Store.object_path st k) in
+      (* max_bytes 0 wants everything gone; min-age shields the entry a
+         concurrent writer just published, even though the store stays
+         over target. *)
+      let deleted, remaining = Store.gc ~min_age_s:600. st ~max_bytes:0 in
+      check_int "only the stale entry evicted" 1 deleted;
+      check "stale entry gone" false (alive old_k);
+      check "fresh entry survives an evict-everything gc" true (alive new_k);
+      check "remaining bytes still count the survivor" true (remaining > 0);
+      (* Without the shield the same gc clears the store. *)
+      let deleted2, remaining2 = Store.gc st ~max_bytes:0 in
+      check_int "min_age 0 evicts the rest" 1 deleted2;
+      check_int "store empty" 0 remaining2)
+
 let suite =
   [
     ("key: digest stability", `Quick, test_key_stability);
@@ -275,4 +298,5 @@ let suite =
       test_corruption_recomputes_identically );
     ("concurrency: 4-domain writers", `Quick, test_concurrent_writers);
     ("gc: LRU eviction respects max-bytes", `Quick, test_gc_lru);
+    ("gc: min-age shields fresh entries", `Quick, test_gc_min_age);
   ]
