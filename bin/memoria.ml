@@ -434,7 +434,6 @@ let run_request_file path =
       match Request.to_config req with
       | Error message -> Response.Failed { id = req.Request.id; message }
       | Ok cfg ->
-        Request.apply_rate req;
         Response.of_run ~id:req.Request.id
           ~emit_program:req.Request.emit_program (Driver.run cfg))
   in
@@ -477,7 +476,6 @@ let sim_cmd =
               ~machines:[ Request.machine_of_config cache ]
               ?sample_rate:rate source
           in
-          Request.apply_rate req;
           let r = or_die (Driver.run (or_die (Request.to_config req))) in
           let m = List.hd r.Driver.measured in
           let before = m.Driver.original_run
@@ -720,9 +718,7 @@ let suite_cmd =
                   (* Driver.run's errors already carry the kernel name
                      ("<name>: <detail>"); rows forward them verbatim. *)
                   match
-                    Result.bind (Request.to_config req) (fun cfg ->
-                        Request.apply_rate req;
-                        Driver.run cfg)
+                    Result.bind (Request.to_config req) Driver.run
                   with
                   | Error msg -> Error msg
                   | Ok { Driver.measured = [ m1; m2 ]; _ } ->
@@ -870,7 +866,8 @@ let store_cmd =
 
 let serve_cmd =
   let run socket stdio jobs max_queue timeout_ms retry_after_ms gc_every
-      gc_max_bytes gc_min_age trace profile metrics flame =
+      gc_max_bytes gc_min_age max_conns write_timeout trace profile metrics
+      flame =
     let listen =
       match (socket, stdio) with
       | Some path, false -> Serve.Socket path
@@ -888,6 +885,8 @@ let serve_cmd =
         gc_every_s = gc_every;
         gc_max_bytes;
         gc_min_age_s = gc_min_age;
+        max_conns;
+        write_timeout_s = write_timeout;
       }
     in
     let jobs_resolved =
@@ -980,6 +979,25 @@ let serve_cmd =
             "Entries younger than this survive every gc tick (see \
              $(b,memoria store gc --min-age)).")
   in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Serve.default_options.Serve.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Open-connection cap (kept below $(b,select)'s FD_SETSIZE); an \
+             accept beyond it is answered $(b,overloaded) and closed.")
+  in
+  let write_timeout_arg =
+    Arg.(
+      value
+      & opt float Serve.default_options.Serve.write_timeout_s
+      & info [ "write-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Write-stall budget per response line: a client that stops \
+             reading for this long has its replies dropped instead of \
+             blocking a worker.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -993,7 +1011,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ stdio_arg $ jobs_arg $ max_queue_arg
       $ timeout_arg $ retry_after_arg $ gc_every_arg $ gc_max_bytes_arg
-      $ gc_min_age_arg $ trace_arg $ profile_arg $ metrics_arg $ flame_arg)
+      $ gc_min_age_arg $ max_conns_arg $ write_timeout_arg $ trace_arg
+      $ profile_arg $ metrics_arg $ flame_arg)
 
 let fuzz_cmd =
   let module Fuzz = Locality_fuzz in

@@ -35,6 +35,7 @@ type config = {
   timing : Machine.timing;
   params : (string * int) list option;
   replay : Measure.replay_mode option;
+  sample_rate : float option;
   use_labels : bool;
   store : Store.t option;
 }
@@ -42,10 +43,14 @@ type config = {
 let config ?n ?(scale = 1) ?(cls = 4)
     ?(transform = Compound { try_reversal = None; interference_limit = None })
     ?(machines = []) ?(timing = Machine.default_timing) ?params ?replay
-    ?(use_labels = false) ?(store = Store.default ()) source =
+    ?sample_rate ?(use_labels = false) ?(store = Store.default ()) source =
   if scale < 1 then invalid_arg "Driver.config: scale must be >= 1";
+  (match sample_rate with
+  | Some r when not (r > 0.0 && r <= 1.0) ->
+    invalid_arg "Driver.config: sample_rate must be in (0, 1]"
+  | _ -> ());
   { source; n; scale; cls; transform; machines; timing; params; replay;
-    use_labels; store }
+    sample_rate; use_labels; store }
 
 type measured = {
   machine : Cache.config;
@@ -192,7 +197,8 @@ let run_loaded cfg name program =
          geometry — and deferred: with a warm store no interpretation
          happens at all. *)
       let prep p =
-        Measure.prepare ?mode:cfg.replay ?params:cfg.params ~store:cfg.store p
+        Measure.prepare ?mode:cfg.replay ?rate:cfg.sample_rate
+          ?params:cfg.params ~store:cfg.store p
       in
       let orig = prep program in
       let final =

@@ -63,6 +63,12 @@ type config = {
   params : (string * int) list option;
       (** Capture-time parameter overrides, as {!Measure.capture}. *)
   replay : Measure.replay_mode option;  (** [None] = [MEMORIA_REPLAY]. *)
+  sample_rate : float option;
+      (** SHARDS rate for the [Sampled] replay mode, threaded into
+          {!Measure.prepare} — explicitly per-config, never process
+          state, so concurrent runs with different rates (the serve
+          daemon's workers) cannot interfere. [None] = the ambient
+          {!Locality_sample.Sample.current_rate}[ ()]. *)
   use_labels : bool;
       (** Thread the optimized-region statement labels into replay so
           runs carry per-region statistics (Table 4). *)
@@ -78,14 +84,16 @@ val config :
   ?timing:Machine.timing ->
   ?params:(string * int) list ->
   ?replay:Measure.replay_mode ->
+  ?sample_rate:float ->
   ?use_labels:bool ->
   ?store:Store.t option ->
   source ->
   config
 (** Defaults: no size override, [scale = 1], [cls = 4], {!Compound}
     with neither knob set, no machines, {!Machine.default_timing}, no
-    parameter overrides, ambient replay mode, [use_labels = false],
-    ambient store. @raise Invalid_argument when [scale < 1]. *)
+    parameter overrides, ambient replay mode and sampling rate,
+    [use_labels = false], ambient store. @raise Invalid_argument when
+    [scale < 1] or [sample_rate] is outside (0, 1]. *)
 
 type measured = {
   machine : Cache.config;

@@ -4,7 +4,6 @@ module Cache = Locality_cachesim.Cache
 module Machine = Locality_cachesim.Machine
 module Measure = Locality_interp.Measure
 module Store = Locality_store.Store
-module Sample = Locality_sample.Sample
 module Jsonin = Locality_telemetry.Jsonin
 module Json = Locality_obs.Json
 
@@ -374,7 +373,15 @@ let decode src keys json =
       | Some v -> decode_store ~src ~keys v
       | None -> Ambient);
     jobs = int_field ~src ~keys fields "jobs";
-    timeout_ms = int_field ~src ~keys fields "timeout_ms";
+    timeout_ms =
+      (let v = int_field ~src ~keys fields "timeout_ms" in
+       Option.iter
+         (fun ms ->
+           if ms < 0 then
+             reject "%s: field \"timeout_ms\": must be >= 0"
+               (pos_of src keys "timeout_ms"))
+         v;
+       v);
     emit_program =
       Option.value (bool_field ~src ~keys fields "emit_program") ~default:false;
   }
@@ -438,7 +445,6 @@ let to_config r =
     Ok
       (Driver.config ?n:r.n ~scale:r.scale ~cls:r.cls ~transform ~machines
          ?params:(match r.params with [] -> None | l -> Some l)
-         ?replay:r.replay ~use_labels:r.use_labels ~store source)
+         ?replay:r.replay ?sample_rate:r.sample_rate ~use_labels:r.use_labels
+         ~store source)
   with Reject m -> Error m
-
-let apply_rate r = Option.iter Sample.set_rate r.sample_rate

@@ -57,10 +57,11 @@ type t = {
   params : (string * int) list;
   replay : Measure.replay_mode option;  (** [None] = ambient [MEMORIA_REPLAY] *)
   sample_rate : float option;
-      (** SHARDS rate for the [sample] replay mode. Applied with
-          {!apply_rate}; the rate is a process-wide setting, so a server
-          mixing concurrent requests with {e different} explicit rates
-          is unsupported (doc/PROTOCOL.md). *)
+      (** SHARDS rate for the [sample] replay mode, carried into
+          {!Driver.config}[.sample_rate] — per-request, never process
+          state, so a server mixing concurrent requests with different
+          explicit rates keeps them isolated. [None] = the ambient
+          [MEMORIA_SAMPLE_RATE] / CLI default. *)
   use_labels : bool;
   store : store_choice;
   jobs : int option;
@@ -125,7 +126,3 @@ val to_config : t -> (Driver.config, string) Stdlib.result
     validate custom geometries (positive sizes, power-of-two line,
     size divisible by [line * assoc]), open the store. Errors follow
     the ["request: <detail>"] format. *)
-
-val apply_rate : t -> unit
-(** Publish [sample_rate] as the process-wide SHARDS rate
-    ({!Locality_sample.Sample.set_rate}) when set; no-op otherwise. *)

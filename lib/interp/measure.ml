@@ -286,18 +286,19 @@ type prepared = {
   p_program : Program.t;
   p_params : (string * int) list option;
   p_mode : replay_mode;
+  p_rate : float option;  (* explicit SHARDS rate; None = ambient *)
   p_store : Store.t option;
   p_key : string option;
   mutable p_cap : capture option;
 }
 
-let prepare ?mode ?params ?(store = Store.default ()) (p : Program.t) =
+let prepare ?mode ?rate ?params ?(store = Store.default ()) (p : Program.t) =
   let mode = match mode with Some m -> m | None -> replay_mode () in
   let p_key =
     Option.map (fun _ -> Store.hex (capture_key ~mode ?params p)) store
   in
-  { p_program = p; p_params = params; p_mode = mode; p_store = store; p_key;
-    p_cap = None }
+  { p_program = p; p_params = params; p_mode = mode; p_rate = rate;
+    p_store = store; p_key; p_cap = None }
 
 let prepared_capture pr =
   match pr.p_cap with
@@ -577,7 +578,9 @@ let run_of_sample_profile ~config ~timing ~optimized_labels
   }
 
 let sample_prepared ~config ~timing ~optimized_labels pr =
-  let rate = Sample.current_rate () in
+  let rate =
+    match pr.p_rate with Some r -> r | None -> Sample.current_rate ()
+  in
   let line_bytes = config.Cache.line_bytes in
   let sets =
     max 1 (config.Cache.size_bytes / (line_bytes * config.Cache.assoc))

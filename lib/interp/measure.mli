@@ -57,8 +57,9 @@ type replay_mode = Per_access | Runs | Stream | Sampled | Analytic
 
     [Sampled] replaces exact simulation with a SHARDS sampled
     reuse-distance profile ({!Locality_sample.Sample}) built from the
-    same streaming sink: cache lines are hash-sampled at
-    [Sample.current_rate ()] (the [--rate] flag / [MEMORIA_SAMPLE_RATE]),
+    same streaming sink: cache lines are hash-sampled at the rate given
+    to {!prepare} (default [Sample.current_rate ()] — the [--rate] flag
+    / [MEMORIA_SAMPLE_RATE]),
     distances are tracked per cache set, and per-label histograms
     scaled by 1/R estimate hits via the exact set-associative LRU
     condition (scaled same-set distance < ways) — at rate 1.0 the
@@ -144,10 +145,16 @@ type prepared
 
 val prepare :
   ?mode:replay_mode ->
+  ?rate:float ->
   ?params:(string * int) list ->
   ?store:Store.t option ->
   Program.t ->
   prepared
+(** [rate] is the SHARDS sampling rate used when this prepared program
+    is replayed in [Sampled] mode; it defaults to the ambient
+    {!Locality_sample.Sample.current_rate}[ ()]. Passing it here keeps
+    the rate local to the measurement — concurrent preparations with
+    different rates never interfere. *)
 
 val prepared_capture : prepared -> capture
 (** Force (and memoise) the capture. *)

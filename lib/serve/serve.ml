@@ -29,6 +29,8 @@ type options = {
   gc_max_bytes : int;
   gc_min_age_s : float;
   max_line_bytes : int;
+  max_conns : int;
+  write_timeout_s : float;
 }
 
 let default_options =
@@ -41,6 +43,8 @@ let default_options =
     gc_max_bytes = 256 * 1024 * 1024;
     gc_min_age_s = 60.;
     max_line_bytes = 8 * 1024 * 1024;
+    max_conns = 512;
+    write_timeout_s = 10.;
   }
 
 type conn = {
@@ -49,7 +53,11 @@ type conn = {
   c_wlock : Mutex.t;
   c_buf : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
   c_stdio : bool;  (* never close the process's own std fds *)
+  c_wtimeout : float;  (* write-stall budget per line, seconds *)
   mutable c_eof : bool;
+  mutable c_wfail : bool;
+      (* write side dead (error or stall); later replies are dropped
+         instead of waiting out another stall. *)
   mutable c_closed : bool;
   mutable c_refs : int;
       (* unanswered+unwritten waiters pointing here; the reaper only
@@ -69,7 +77,6 @@ type waiter = {
 type job = {
   j_fp : string;
   j_cfg : Driver.config;
-  j_req : Request.t;
   mutable j_waiters : waiter list;
 }
 
@@ -89,6 +96,7 @@ type t = {
 
 let create ?(options = default_options) listen =
   if options.max_queue < 1 then invalid_arg "Serve.create: max_queue < 1";
+  if options.max_conns < 1 then invalid_arg "Serve.create: max_conns < 1";
   {
     listen;
     opts = options;
@@ -124,21 +132,38 @@ let install_signal_handlers t =
 (* Writes happen from worker domains and the main loop alike; the
    per-connection mutex keeps lines whole, the closed flag covers the
    reaper, and any I/O error just marks the peer gone (SIGPIPE is
-   ignored while serving). *)
+   ignored while serving). Socket fds are nonblocking: when the peer
+   stops reading and its buffer fills, the writer waits in [select] up
+   to the connection's stall budget and then declares the write side
+   dead — a stalled client can delay one reply, never wedge a worker,
+   the event loop, or the shutdown drain. *)
 let write_line conn s =
   Mutex.lock conn.c_wlock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.c_wlock)
     (fun () ->
-      if not conn.c_closed then begin
+      if not (conn.c_closed || conn.c_wfail) then begin
         let b = Bytes.of_string (s ^ "\n") in
         let n = Bytes.length b in
+        let deadline = Unix.gettimeofday () +. conn.c_wtimeout in
+        let fail () =
+          conn.c_wfail <- true;
+          conn.c_eof <- true
+        in
+        let sent = ref 0 in
         try
-          let sent = ref 0 in
-          while !sent < n do
-            sent := !sent + Unix.write conn.c_wfd b !sent (n - !sent)
+          while !sent < n && not conn.c_wfail do
+            match Unix.write conn.c_wfd b !sent (n - !sent) with
+            | k -> sent := !sent + k
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+              let left = deadline -. Unix.gettimeofday () in
+              if left <= 0. then fail ()
+              else (
+                try ignore (Unix.select [] [ conn.c_wfd ] [] left)
+                with Unix.Unix_error (EINTR, _, _) -> ())
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
           done
-        with _ -> conn.c_eof <- true
+        with _ -> fail ()
       end)
 
 let respond conn resp = write_line conn (Response.to_json resp)
@@ -167,7 +192,6 @@ let process t job =
   else begin
     let result, events =
       Obs.scoped (fun () ->
-          Request.apply_rate job.j_req;
           Obs.span "serve.request" (fun () ->
               try Driver.run job.j_cfg
               with e -> Error ("serve: " ^ Printexc.to_string e)))
@@ -268,7 +292,7 @@ let handle_line l conn line =
                 | None ->
                   let w = mk_waiter () in
                   let job =
-                    { j_fp = fp; j_cfg = cfg; j_req = req; j_waiters = [ w ] }
+                    { j_fp = fp; j_cfg = cfg; j_waiters = [ w ] }
                   in
                   Hashtbl.add t.inflight fp job;
                   t.n_inflight <- t.n_inflight + 1;
@@ -288,34 +312,35 @@ let handle_line l conn line =
             if w.w_deadline < infinity then l.waiters <- w :: l.waiters;
             Pool.submit l.pool (fun () -> process t job))))
 
-(* Split off complete lines; whatever trails the last newline stays
-   buffered for the next read. *)
+(* Split off every complete line in one scan of the buffered bytes;
+   whatever trails the last newline is re-buffered once at the end, so
+   k pipelined lines arriving in one read cost O(bytes), not
+   O(bytes * k). *)
 let drain_buffer l conn =
+  let s = Buffer.contents conn.c_buf in
+  let len = String.length s in
+  let start = ref 0 in
   let continue = ref true in
   while !continue do
-    let s = Buffer.contents conn.c_buf in
-    match String.index_opt s '\n' with
+    match String.index_from_opt s !start '\n' with
     | Some i ->
-      Buffer.clear conn.c_buf;
-      Buffer.add_string conn.c_buf
-        (String.sub s (i + 1) (String.length s - i - 1));
-      let line = String.sub s 0 i in
-      let line =
-        if String.length line > 0 && line.[String.length line - 1] = '\r' then
-          String.sub line 0 (String.length line - 1)
-        else line
-      in
+      let stop = if i > !start && s.[i - 1] = '\r' then i - 1 else i in
+      let line = String.sub s !start (stop - !start) in
+      start := i + 1;
       if String.trim line <> "" then handle_line l conn line
-    | None ->
-      if String.length s > l.t.opts.max_line_bytes then begin
-        Obs.counter "serve.malformed" 1;
-        respond conn
-          (Response.Failed { id = ""; message = "request: line too long" });
-        conn.c_eof <- true;
-        Buffer.clear conn.c_buf
-      end;
-      continue := false
-  done
+    | None -> continue := false
+  done;
+  if !start > 0 then begin
+    Buffer.clear conn.c_buf;
+    Buffer.add_substring conn.c_buf s !start (len - !start)
+  end;
+  if len - !start > l.t.opts.max_line_bytes then begin
+    Obs.counter "serve.malformed" 1;
+    respond conn
+      (Response.Failed { id = ""; message = "request: line too long" });
+    conn.c_eof <- true;
+    Buffer.clear conn.c_buf
+  end
 
 let read_conn l conn =
   let buf = Bytes.create 65536 in
@@ -333,19 +358,41 @@ let read_conn l conn =
 let accept_conn l fd =
   match Unix.accept ~cloexec:true fd with
   | cfd, _ ->
-    Obs.counter "serve.connections" 1;
-    l.conns <-
-      {
-        c_rfd = cfd;
-        c_wfd = cfd;
-        c_wlock = Mutex.create ();
-        c_buf = Buffer.create 256;
-        c_stdio = false;
-        c_eof = false;
-        c_closed = false;
-        c_refs = 0;
-      }
-      :: l.conns
+    if List.length l.conns >= l.t.opts.max_conns then begin
+      (* [Unix.select] misbehaves once fd numbers reach FD_SETSIZE;
+         shed the connection with the typed envelope instead of letting
+         the fd table grow into that range. *)
+      Obs.counter "serve.conn_rejected" 1;
+      let line =
+        Response.to_json
+          (Response.Overloaded
+             { id = ""; retry_after_ms = l.t.opts.retry_after_ms })
+        ^ "\n"
+      in
+      (try
+         Unix.set_nonblock cfd;
+         ignore (Unix.write cfd (Bytes.of_string line) 0 (String.length line))
+       with _ -> ());
+      try Unix.close cfd with _ -> ()
+    end
+    else begin
+      Obs.counter "serve.connections" 1;
+      (try Unix.set_nonblock cfd with _ -> ());
+      l.conns <-
+        {
+          c_rfd = cfd;
+          c_wfd = cfd;
+          c_wlock = Mutex.create ();
+          c_buf = Buffer.create 256;
+          c_stdio = false;
+          c_wtimeout = l.t.opts.write_timeout_s;
+          c_eof = false;
+          c_wfail = false;
+          c_closed = false;
+          c_refs = 0;
+        }
+        :: l.conns
+    end
   | exception Unix.Unix_error ((EAGAIN | EINTR), _, _) -> ()
   | exception _ -> ()
 
@@ -465,6 +512,10 @@ let run t =
          raise e);
       (Some fd, [])
     | Stdio ->
+      (* The process's own std fds stay blocking — making stdout
+         nonblocking would leak into everything else the process
+         prints. One piped client is the transport's contract; the
+         write deadline applies to socket connections. *)
       ( None,
         [
           {
@@ -473,7 +524,9 @@ let run t =
             c_wlock = Mutex.create ();
             c_buf = Buffer.create 256;
             c_stdio = true;
+            c_wtimeout = t.opts.write_timeout_s;
             c_eof = false;
+            c_wfail = false;
             c_closed = false;
             c_refs = 0;
           };

@@ -56,12 +56,22 @@ type options = {
   max_line_bytes : int;
       (** Request lines longer than this are rejected and the
           connection closed. *)
+  max_conns : int;
+      (** Open-connection cap (kept below [select]'s FD_SETSIZE); an
+          accept beyond it is answered with the typed ["overloaded"]
+          envelope and closed. *)
+  write_timeout_s : float;
+      (** Per-reply write-stall budget on socket connections: a client
+          that stops reading gets this long before its write side is
+          declared dead and its replies dropped, so a stalled peer can
+          never wedge a worker, the event loop, or the drain. *)
 }
 
 val default_options : options
 (** Ambient jobs, [max_queue = 64], no default timeout,
     [retry_after_ms = 100], gc tick off ([gc_every_s = 0.], 256 MiB
-    target, 60 s min age when enabled), 8 MiB line limit. *)
+    target, 60 s min age when enabled), 8 MiB line limit, 512
+    connections, 10 s write-stall budget. *)
 
 type t
 

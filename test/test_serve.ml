@@ -118,6 +118,7 @@ let test_malformed_rejection () =
       {|{"schema_version":1,"source":{"kind":"kernel","name":"m"},"scale":0}|};
       {|{"schema_version":1,"source":{"kind":"kernel","name":"m"},"sample_rate":1.5}|};
       {|{"schema_version":1,"source":{"kind":"kernel","name":"m"},"replay":"bogus"}|};
+      {|{"schema_version":1,"source":{"kind":"kernel","name":"m"},"timeout_ms":-5}|};
     ];
   (* A type-valid but geometrically impossible machine parses, then
      fails resolution: validation that needs pipeline knowledge lives in
@@ -208,6 +209,30 @@ let test_error_format () =
     check_int "source name appears exactly once" 1 occurrences
   | Ok _ -> Alcotest.fail "parse error ran"
 
+(* The per-request SHARDS rate is config state, not process state: an
+   explicit rate changes that request's sampled estimate, and leaves
+   nothing behind for the next request to inherit — the property that
+   keeps a long-lived daemon byte-identical to one-shot CLI runs. *)
+let test_rate_isolation () =
+  (* [Keep] so the response carries no statement labels — their names
+     are process-unique tickets, fresh per construction, and would
+     differ between byte-identical measurements. *)
+  let sampled rate =
+    Response.to_json
+      (Response.of_run ~id:"" ~emit_program:false
+         (run_req
+            (Request.make ~n:24 ~replay:Measure.Sampled
+               ~transform:Request.Keep
+               ~machines:[ Request.Named "cache2" ]
+               ~store:Request.No_store ?sample_rate:rate
+               (Request.Kernel "matmul"))))
+  in
+  let ambient_before = sampled None in
+  check "explicit rates reach the profiler" false
+    (String.equal (sampled (Some 1.0)) (sampled (Some 0.02)));
+  check_str "an omitted rate is untouched by earlier explicit rates"
+    ambient_before (sampled None)
+
 (* ---------------------------------------------------- live server ----- *)
 
 let dir_ticket = ref 0
@@ -280,7 +305,6 @@ let heavy ?timeout_ms ~id () =
     ~store:Request.No_store ?timeout_ms (Request.Kernel "matmul")
 
 let direct_bytes req =
-  Request.apply_rate req;
   Response.to_json
     (Response.of_run ~id:req.Request.id ~emit_program:req.Request.emit_program
        (run_req req))
@@ -419,6 +443,31 @@ let test_drain_answers_inflight () =
   check "draining server still answered the in-flight request" true
     (contains body "\"status\":\"ok\"" && contains body "\"id\":\"drain\"")
 
+(* Several requests in one write: the framing layer splits them in a
+   single scan and every one is answered (responses matched by id —
+   arrival order is not guaranteed). *)
+let test_pipelined_lines () =
+  let store = fresh_path "serve-pipe-store" in
+  with_server (fun path ->
+      let fd = connect path in
+      let reqs =
+        List.init 3 (fun i -> light ~id:(Printf.sprintf "p-%d" i) ~store (16 + i))
+      in
+      send_line fd (String.concat "\n" (List.map Request.to_json reqs));
+      let bodies = List.map (fun _ -> recv_line fd) reqs in
+      Unix.close fd;
+      List.iter
+        (fun (r : Request.t) ->
+          check
+            (Printf.sprintf "pipelined %s answered ok" r.Request.id)
+            true
+            (List.exists
+               (fun b ->
+                 contains b (Printf.sprintf "\"id\":%S" r.Request.id)
+                 && contains b "\"status\":\"ok\"")
+               bodies))
+        reqs)
+
 let test_wire_malformed () =
   with_server (fun path ->
       let fd = connect path in
@@ -442,6 +491,7 @@ let suite =
     ("request: malformed documents rejected", `Quick, test_malformed_rejection);
     ("request: reader survives seed-stream fuzz", `Quick, test_fuzz_reader);
     ("driver: error format is stable", `Quick, test_error_format);
+    ("driver: sample rate is per-request, never sticky", `Slow, test_rate_isolation);
     ( "serve: concurrent clients = direct bytes, cold and warm",
       `Slow,
       test_concurrent_identity );
@@ -451,5 +501,6 @@ let suite =
       test_timeout_and_backpressure );
     ("serve: identical in-flight requests batched", `Slow, test_batching);
     ("serve: drain answers in-flight work", `Slow, test_drain_answers_inflight);
+    ("serve: pipelined lines all answered", `Slow, test_pipelined_lines);
     ("serve: malformed line rejected, connection survives", `Quick, test_wire_malformed);
   ]
