@@ -50,7 +50,12 @@ let () =
           "store: %d hits %d misses %d writes (%.1f%% hit rate)\n%!"
           c.Store.hits c.Store.misses c.Store.writes rate)
 
-let table2_rows = lazy (Stats.Table2.compute ())
+(* Set by --tune before any experiment forces the rows: adds the tuned
+   column (quick transformation search) to tables 2 and 4. Off by
+   default so CI's replay-mode A/B byte-diff baselines are unchanged. *)
+let tune_flag = ref false
+
+let table2_rows = lazy (Stats.Table2.compute ~tune:!tune_flag ())
 
 (* The interpreter hot path is supposed to be allocation-free: trace a
    kernel into a discarding sink and report the minor-heap words each
@@ -200,7 +205,7 @@ let experiments : (string * (unit -> string)) list =
     ("table1", fun () -> Stats.Perf.table1 ());
     ("table2", fun () -> Stats.Table2.render (Lazy.force table2_rows));
     ("table3", fun () -> Stats.Perf.table3 ());
-    ("table4", fun () -> Stats.Perf.table4 (Lazy.force table2_rows));
+    ("table4", fun () -> Stats.Perf.table4 ~tune:!tune_flag (Lazy.force table2_rows));
     ("table5", fun () -> Stats.Table5.render_for (Lazy.force table2_rows));
     ("fig8", fun () -> Stats.Figures.fig8 (Lazy.force table2_rows));
     ("fig9", fun () -> Stats.Figures.fig9 (Lazy.force table2_rows));
@@ -576,8 +581,8 @@ let replay_mode_name () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Strip -j/--jobs N, --scale N, --rate R, --trace FILE, --profile,
-     --metrics FILE and --flame FILE anywhere on the command line (same
-     convention the memoria binary uses). *)
+     --metrics FILE, --flame FILE and --tune anywhere on the command
+     line (same convention the memoria binary uses). *)
   let jobs = ref None in
   let trace = ref None in
   let profile = ref false in
@@ -637,6 +642,9 @@ let () =
       exit 1
     | "--profile" :: rest ->
       profile := true;
+      strip rest
+    | "--tune" :: rest ->
+      tune_flag := true;
       strip rest
     | a :: rest -> a :: strip rest
     | [] -> []

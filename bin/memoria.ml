@@ -433,9 +433,18 @@ let run_request_file path =
     | Ok req -> (
       match Request.to_config req with
       | Error message -> Response.Failed { id = req.Request.id; message }
-      | Ok cfg ->
-        Response.of_run ~id:req.Request.id
-          ~emit_program:req.Request.emit_program (Driver.run cfg))
+      | Ok cfg -> (
+        match req.Request.tune with
+        | Some ts ->
+          (* A tune object turns the request into a tuning query, same
+             as it does daemon-side. *)
+          Response.of_tune ~id:req.Request.id
+            (Result.map Stats.Tune.to_json
+               (Stats.Tune.run_config ~spec:(Stats.Tune.spec_of_request ts)
+                  cfg))
+        | None ->
+          Response.of_run ~id:req.Request.id
+            ~emit_program:req.Request.emit_program (Driver.run cfg)))
   in
   print_endline (Response.to_json resp);
   match resp with Response.Failed _ -> exit 1 | _ -> ()
@@ -509,8 +518,131 @@ let sim_cmd =
       $ rate_arg $ cache_arg $ request_arg $ trace_arg $ profile_arg
       $ metrics_arg $ flame_arg)
 
+let tune_cmd =
+  let run file kernel cls n scale cache jobs json quick top_k tiles unrolls
+      max_candidates trace profile metrics flame =
+    let target =
+      match kernel with
+      | Some k -> k
+      | None -> (
+        match file with Some f -> Filename.basename f | None -> "-")
+    in
+    let workload =
+      Printf.sprintf "tune:%s:cls=%d:n=%s:cache=%s" target cls
+        (match n with Some v -> string_of_int v | None -> "-")
+        cache.Locality_cachesim.Cache.name
+    in
+    with_obs ~cmd:"tune" ~workload
+      ~geometry:cache.Locality_cachesim.Cache.name
+      ~jobs:(Option.value jobs ~default:1) ~trace ~profile ~metrics ~flame
+      (fun () ->
+        let source =
+          match (kernel, file) with
+          | Some name, _ -> Request.Kernel name
+          | None, Some path -> Request.File path
+          | None, None -> or_die (Error "give a FILE or --kernel NAME")
+        in
+        (* Through the typed request, like sim: the tune object below is
+           exactly what a serve client would send for this search. *)
+        let tune =
+          {
+            Request.t_top_k = top_k;
+            t_tiles = tiles;
+            t_unrolls = unrolls;
+            t_max_candidates = max_candidates;
+          }
+        in
+        let req =
+          Request.make ?n ~scale ~cls
+            ~machines:[ Request.machine_of_config cache ]
+            ?jobs ~tune source
+        in
+        let spec =
+          if quick then Stats.Tune.quick_spec
+          else Stats.Tune.spec_of_request tune
+        in
+        let t =
+          or_die
+            (Stats.Tune.run_config ~spec ?jobs
+               (or_die (Request.to_config req)))
+        in
+        if json then print_string (Stats.Tune.to_json t)
+        else print_string (Stats.Tune.render t))
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size for candidate screening (default: \
+             $(b,MEMORIA_JOBS) or 1; the winner and every reported number \
+             are identical at any value).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the tuning report as JSON instead of text.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Use the cheap search profile (one tile size, one unroll \
+             factor, one finalist) — the smoke-test band. Overrides the \
+             space flags below.")
+  in
+  let top_k_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:
+            "Analytic finalists confirmed with the exact simulator \
+             (default 5).")
+  in
+  let tiles_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "tiles" ] ~docv:"T,T,..."
+          ~doc:"Tile-size band to search (default 8,16,32,64).")
+  in
+  let unrolls_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "unrolls" ] ~docv:"U,U,..."
+          ~doc:"Unroll-and-jam factors to search (default 2,4,8).")
+  in
+  let max_candidates_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-candidates" ] ~docv:"N"
+          ~doc:
+            "Enumeration cap; candidates beyond it are dropped and counted \
+             in the report (default 4096).")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the transformation space — structure (as-is, fused, \
+          distributed) x loop permutation x tile size x unroll-and-jam \
+          factor — for the candidate with the lowest simulated miss rate. \
+          Every legal candidate is screened with the analytic model, the \
+          top K finalists are confirmed with the exact simulator, and every \
+          score is memoized in the store (kind $(b,tune)), so re-tuning and \
+          overlapping searches are warm. Deterministic at any job count.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ scale_arg
+      $ cache_arg $ jobs_arg $ json_arg $ quick_arg $ top_k_arg $ tiles_arg
+      $ unrolls_arg $ max_candidates_arg $ trace_arg $ profile_arg
+      $ metrics_arg $ flame_arg)
+
 let explain_cmd =
-  let run file kernel cls n json interference_limit compare cache metrics =
+  let run file kernel cls n json interference_limit compare tune cache metrics =
     let target =
       match kernel with
       | Some k -> k
@@ -533,7 +665,7 @@ let explain_cmd =
         let src = or_die (source_of ~kernel ~file) in
         let name, p = or_die (Driver.load ?n src) in
         if compare then begin
-          let c = Stats.Compare.run ~config:cache ~name p in
+          let c = Stats.Compare.run ~config:cache ~tune ~name p in
           (* Mean absolute error of the analytic model vs the simulator
              (percentage points, per-unit mean) — the accuracy signal
              `memoria health` watches for drift. *)
@@ -584,6 +716,15 @@ let explain_cmd =
              per-nest miss rates from both, with the absolute error and the \
              formula the model used. Honours $(b,--json) and $(b,--cache).")
   in
+  let tune_arg =
+    Arg.(
+      value & flag
+      & info [ "tune" ]
+          ~doc:
+            "With $(b,--compare): also run the quick-profile transformation \
+             search ($(b,memoria tune --quick)) and report its winner's \
+             simulated miss rate beside the model-vs-simulator rows.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -594,7 +735,7 @@ let explain_cmd =
           simulator instead.")
     Term.(
       const run $ file_arg $ kernel_arg $ cls_arg $ n_arg $ json_arg
-      $ interference_arg $ compare_arg $ cache_arg $ metrics_arg)
+      $ interference_arg $ compare_arg $ tune_arg $ cache_arg $ metrics_arg)
 
 let unroll_cmd =
   let run file kernel n loop factor replace =
@@ -1269,9 +1410,9 @@ let main =
                 compares the history. Any other value disables recording.";
          ])
     [
-      opt_cmd; cost_cmd; deps_cmd; sim_cmd; explain_cmd; tile_cmd; unroll_cmd;
-      cgen_cmd; kernels_cmd; suite_cmd; serve_cmd; fuzz_cmd; store_cmd;
-      health_cmd;
+      opt_cmd; cost_cmd; deps_cmd; sim_cmd; tune_cmd; explain_cmd; tile_cmd;
+      unroll_cmd; cgen_cmd; kernels_cmd; suite_cmd; serve_cmd; fuzz_cmd;
+      store_cmd; health_cmd;
     ]
 
 let () = exit (Cmd.eval main)

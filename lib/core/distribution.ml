@@ -155,19 +155,24 @@ let run ?(cls = 4) ?(try_reversal = true) (nest : Loop.t) =
              (List.length parts));
         None
       end
-      else
-        let nests =
-          List.map
-            (function
-              | Loop.Loop l -> l
-              | Loop.Stmt _ -> assert false)
-            (splice nest path copies)
+      else begin
+        (* [splice] rebuilds only loop nodes on this path, but a
+           malformed body shape must degrade to "no distribution", not
+           kill the whole pass. *)
+        let rec as_loops acc = function
+          | [] -> Some (List.rev acc)
+          | Loop.Loop l :: rest -> as_loops (l :: acc) rest
+          | Loop.Stmt _ :: _ -> None
         in
-        begin
+        match as_loops [] (splice nest path copies) with
+        | None ->
+          note ~level "rejected: splice produced a bare statement";
+          None
+        | Some nests ->
           note ~level
             (Printf.sprintf "distributed into %d partitions"
                (List.length parts));
           Some { nests; level; partitions = List.length parts; improved = true }
-        end
+      end
   in
   List.find_map attempt sites

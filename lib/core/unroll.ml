@@ -1,7 +1,7 @@
 module An = Locality_dep.Analysis
 module Dep = Locality_dep.Depend
 
-let unroll_and_jam (nest : Loop.t) ~loop ~factor =
+let unroll_and_jam ?(avoid = []) (nest : Loop.t) ~loop ~factor =
   if factor < 2 then None
   else if not (Loop.is_perfect nest) then None
   else
@@ -42,6 +42,37 @@ let unroll_and_jam (nest : Loop.t) ~loop ~factor =
               | b -> b
             in
             let body = innermost_body nest in
+            if
+              List.exists
+                (function Loop.Loop _ -> true | Loop.Stmt _ -> false)
+                body
+            then None
+            else begin
+            (* Label freshening must stay collision-free even when the
+               nest already carries suffixed labels from earlier
+               transforms (a prior unroll, distribution copies): probe
+               each candidate against every label in scope. *)
+            let used = Hashtbl.create 64 in
+            List.iter (fun l -> Hashtbl.replace used l ()) avoid;
+            List.iter
+              (fun (s : Stmt.t) -> Hashtbl.replace used s.Stmt.label ())
+              (Loop.statements nest);
+            let fresh base =
+              if not (Hashtbl.mem used base) then begin
+                Hashtbl.replace used base ();
+                base
+              end
+              else
+                let rec go i =
+                  let cand = Printf.sprintf "%s_%d" base i in
+                  if Hashtbl.mem used cand then go (i + 1)
+                  else begin
+                    Hashtbl.replace used cand ();
+                    cand
+                  end
+                in
+                go 2
+            in
             let copy k =
               List.map
                 (function
@@ -50,8 +81,12 @@ let unroll_and_jam (nest : Loop.t) ~loop ~factor =
                       Stmt.subst_index s loop (Expr.Add (Var loop, Int k))
                     in
                     Loop.Stmt
-                      { s with Stmt.label = Printf.sprintf "%s_u%d" s.Stmt.label k }
-                  | Loop.Loop _ -> assert false (* perfect nest *))
+                      {
+                        s with
+                        Stmt.label =
+                          fresh (Printf.sprintf "%s_u%d" s.Stmt.label k);
+                      }
+                  | Loop.Loop _ as node -> node (* excluded by the guard *))
                 body
             in
             let jammed_body = List.concat (List.init factor copy) in
@@ -89,8 +124,8 @@ let unroll_and_jam (nest : Loop.t) ~loop ~factor =
               let relabel =
                 List.map (function
                   | Loop.Stmt s ->
-                    Loop.Stmt { s with Stmt.label = s.Stmt.label ^ "_r" }
-                  | Loop.Loop _ -> assert false)
+                    Loop.Stmt { s with Stmt.label = fresh (s.Stmt.label ^ "_r") }
+                  | Loop.Loop _ as node -> node (* excluded by the guard *))
               in
               rebuild
                 (fun h ->
@@ -120,6 +155,7 @@ let unroll_and_jam (nest : Loop.t) ~loop ~factor =
                 Some [ Loop.Loop (splice m r) ]
               end
             | _, _ -> None
+            end
           end
         end
       end

@@ -8,7 +8,9 @@
     references differing only in the unrolled index become candidates for
     scalar replacement. *)
 
-val unroll_and_jam : Loop.t -> loop:string -> factor:int -> Loop.block option
+val unroll_and_jam :
+  ?avoid:string list -> Loop.t -> loop:string -> factor:int ->
+  Loop.block option
 (** Unroll the named outer loop of a perfect nest by [factor] and jam.
     Produces a main nest stepping by [factor] (with the copies appended
     to the innermost body, subscripts shifted) followed by a remainder
@@ -17,11 +19,17 @@ val unroll_and_jam : Loop.t -> loop:string -> factor:int -> Loop.block option
     (either way the result is a block replacing the original nest).
 
     Requirements checked (returning [None] when violated): the nest is
-    perfect, [loop] is on the spine but not innermost, its step is 1,
+    perfect (including that the innermost body carries no nested loop),
+    [loop] is on the spine but not innermost, its step is 1,
     no inner loop's bounds depend on it, [factor >= 2], and jamming is
     legal — conservatively, moving [loop] to the innermost position must
     be legal, which guarantees iterations of [loop] can interleave at
-    the innermost level. *)
+    the innermost level.
+
+    Statement labels of the copies ([label_u<k>]) and the remainder
+    ([label_r]) are freshened against every label in the nest plus
+    [avoid] (labels used elsewhere in the enclosing program), so running
+    after other label-suffixing transforms can never collide. *)
 
 type balance = {
   factor : int;  (** unroll factor ([1] = the nest untouched) *)

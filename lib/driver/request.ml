@@ -21,6 +21,13 @@ type machine = Named of string | Custom of Cache.config
 
 type store_choice = Ambient | No_store | Root of string
 
+type tune_spec = {
+  t_top_k : int option;
+  t_tiles : int list option;
+  t_unrolls : int list option;
+  t_max_candidates : int option;
+}
+
 type t = {
   id : string;
   source : source;
@@ -37,14 +44,15 @@ type t = {
   jobs : int option;
   timeout_ms : int option;
   emit_program : bool;
+  tune : tune_spec option;
 }
 
 let make ?(id = "") ?n ?(scale = 1) ?(cls = 4)
     ?(transform = Compound { try_reversal = None; interference_limit = None })
     ?(machines = []) ?(params = []) ?replay ?sample_rate ?(use_labels = false)
-    ?(store = Ambient) ?jobs ?timeout_ms ?(emit_program = false) source =
+    ?(store = Ambient) ?jobs ?timeout_ms ?(emit_program = false) ?tune source =
   { id; source; n; scale; cls; transform; machines; params; replay;
-    sample_rate; use_labels; store; jobs; timeout_ms; emit_program }
+    sample_rate; use_labels; store; jobs; timeout_ms; emit_program; tune }
 
 let named_machines =
   [ ("cache1", Machine.cache1); ("cache2", Machine.cache2) ]
@@ -96,6 +104,16 @@ let store_json = function
   | No_store -> Json.str "none"
   | Root p -> Json.obj [ ("root", Json.str p) ]
 
+let tune_json (s : tune_spec) =
+  let jints l = Json.list (List.map Json.int l) in
+  Json.obj
+    [
+      ("top_k", jopt Json.int s.t_top_k);
+      ("tiles", jopt jints s.t_tiles);
+      ("unrolls", jopt jints s.t_unrolls);
+      ("max_candidates", jopt Json.int s.t_max_candidates);
+    ]
+
 let to_json r =
   Json.versioned
     [
@@ -115,6 +133,7 @@ let to_json r =
       ("jobs", jopt Json.int r.jobs);
       ("timeout_ms", jopt Json.int r.timeout_ms);
       ("emit_program", jbool r.emit_program);
+      ("tune", jopt tune_json r.tune);
     ]
 
 let fingerprint r =
@@ -286,11 +305,54 @@ let decode_params ~src ~keys v =
         reject "%s: parameter %S: expected an integer" (pos_of src keys k) k)
     fields
 
+let decode_tune ~src ~keys v =
+  let fields = obj_of ~src ~keys v ~what:"tune" in
+  check_fields ~src ~keys ~ctx:"tune"
+    [ "top_k"; "tiles"; "unrolls"; "max_candidates" ]
+    fields;
+  let int_list k =
+    Option.map
+      (function
+        | Jsonin.List items ->
+          let l =
+            List.map
+              (fun v ->
+                match Jsonin.to_int_opt v with
+                | Some i when i >= 1 -> i
+                | _ ->
+                  reject "%s: field %S: expected positive integers"
+                    (pos_of src keys k) k)
+              items
+          in
+          if l = [] then
+            reject "%s: field %S: expected a non-empty array"
+              (pos_of src keys k) k;
+          l
+        | _ ->
+          reject "%s: field %S: expected an array of integers"
+            (pos_of src keys k) k)
+      (non_null fields k)
+  in
+  let pos k =
+    let v = int_field ~src ~keys fields k in
+    Option.iter
+      (fun i ->
+        if i < 1 then reject "%s: field %S: must be >= 1" (pos_of src keys k) k)
+      v;
+    v
+  in
+  {
+    t_top_k = pos "top_k";
+    t_tiles = int_list "tiles";
+    t_unrolls = int_list "unrolls";
+    t_max_candidates = pos "max_candidates";
+  }
+
 let allowed_fields =
   [
     "schema_version"; "id"; "source"; "n"; "scale"; "cls"; "transform";
     "machines"; "params"; "replay"; "sample_rate"; "use_labels"; "store";
-    "jobs"; "timeout_ms"; "emit_program";
+    "jobs"; "timeout_ms"; "emit_program"; "tune";
   ]
 
 let decode src keys json =
@@ -384,6 +446,7 @@ let decode src keys json =
        v);
     emit_program =
       Option.value (bool_field ~src ~keys fields "emit_program") ~default:false;
+    tune = Option.map (decode_tune ~src ~keys) (non_null fields "tune");
   }
 
 let of_json src =

@@ -46,6 +46,16 @@ type store_choice =
   | No_store  (** disable caching for this request *)
   | Root of string  (** an explicit store root *)
 
+type tune_spec = {
+  t_top_k : int option;  (** finalists confirmed with the exact simulator *)
+  t_tiles : int list option;  (** tile-size band; [None] = the default *)
+  t_unrolls : int list option;  (** unroll-and-jam factors *)
+  t_max_candidates : int option;  (** enumeration cap *)
+}
+(** Overrides for the tuning search space; every [None] falls back to
+    [Stats.Tune.default_spec]. The presence of the [tune] field is what
+    turns a request into a tuning query. *)
+
 type t = {
   id : string;  (** client correlation token, echoed in the response *)
   source : source;
@@ -72,6 +82,12 @@ type t = {
           deterministic way to ask for a typed timeout response). *)
   emit_program : bool;  (** include the transformed program text in the
                             response *)
+  tune : tune_spec option;
+      (** [Some _] makes this a tuning request: the server searches the
+          transformation space and answers with a [tune] response
+          instead of a measurement. Part of the {!fingerprint}, so tune
+          and non-tune queries over the same config never batch
+          together. *)
 }
 
 val make :
@@ -89,6 +105,7 @@ val make :
   ?jobs:int ->
   ?timeout_ms:int ->
   ?emit_program:bool ->
+  ?tune:tune_spec ->
   source ->
   t
 (** Defaults mirror {!Driver.config}'s: empty id, no size override,

@@ -7,6 +7,7 @@ module Json = Locality_obs.Json
 
 type t =
   | Result of { id : string; emit_program : bool; result : Driver.result }
+  | Tuned of { id : string; tune : string }
   | Failed of { id : string; message : string }
   | Timeout of { id : string; timeout_ms : int }
   | Overloaded of { id : string; retry_after_ms : int }
@@ -15,8 +16,12 @@ let of_run ~id ?(emit_program = false) = function
   | Ok result -> Result { id; emit_program; result }
   | Error message -> Failed { id; message }
 
+let of_tune ~id = function
+  | Ok json -> Tuned { id; tune = String.trim json }
+  | Error message -> Failed { id; message }
+
 let status = function
-  | Result _ -> "ok"
+  | Result _ | Tuned _ -> "ok"
   | Failed _ -> "error"
   | Timeout _ -> "timeout"
   | Overloaded _ -> "overloaded"
@@ -84,6 +89,12 @@ let to_json t =
             Json.str (Pretty.program_to_string result.Driver.transformed) );
         ]
       else [])
+  | Tuned { id; tune } ->
+    (* [tune] is already a rendered JSON object (the tuner's own
+       versioned document); embed it verbatim so the daemon's reply and
+       [memoria tune --json] byte-match. *)
+    Json.versioned
+      [ ("id", Json.str id); ("status", Json.str "ok"); ("tune", tune) ]
   | Failed { id; message } ->
     Json.versioned
       [

@@ -14,6 +14,11 @@
 
 type t =
   | Result of { id : string; emit_program : bool; result : Driver.result }
+  | Tuned of { id : string; tune : string }
+      (** A tuning reply: [tune] is the tuner's rendered JSON object
+          (see [Stats.Tune.to_json]), embedded verbatim under the
+          ["tune"] key — the response layer stays below the stats
+          library, so the payload crosses as bytes, not as a type. *)
   | Failed of { id : string; message : string }
   | Timeout of { id : string; timeout_ms : int }
   | Overloaded of { id : string; retry_after_ms : int }
@@ -24,6 +29,10 @@ val of_run :
   (Driver.result, string) Stdlib.result ->
   t
 (** [Result] or [Failed], echoing the request id. *)
+
+val of_tune : id:string -> (string, string) Stdlib.result -> t
+(** [Tuned] (trailing whitespace trimmed off the payload) or [Failed],
+    echoing the request id. *)
 
 val status : t -> string
 (** ["ok"], ["error"], ["timeout"] or ["overloaded"] — the wire

@@ -29,17 +29,26 @@ let validate t =
              r.array (Decl.rank d) (Reference.rank r))
       else Ok ()
   in
+  let labels = Hashtbl.create 64 in
   let rec check_block seen b =
     List.fold_left
       (fun acc node ->
         let* () = acc in
         match node with
         | Loop.Stmt s ->
-          List.fold_left
-            (fun acc (r, _) ->
-              let* () = acc in
-              check_ref r)
-            (Ok ()) (Stmt.refs s)
+          (* Dependence analysis and transformation bookkeeping key
+             statements by label, so a duplicate silently corrupts both. *)
+          if Hashtbl.mem labels s.Stmt.label then
+            Error
+              (Printf.sprintf "duplicate statement label %s" s.Stmt.label)
+          else begin
+            Hashtbl.replace labels s.Stmt.label ();
+            List.fold_left
+              (fun acc (r, _) ->
+                let* () = acc in
+                check_ref r)
+              (Ok ()) (Stmt.refs s)
+          end
         | Loop.Loop l ->
           let idx = l.header.index in
           if List.mem idx seen then

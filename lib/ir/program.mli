@@ -20,7 +20,9 @@ val map_body : (Loop.block -> Loop.block) -> t -> t
 
 val validate : t -> (unit, string) result
 (** Check that every referenced array is declared with matching rank, loop
-    index names are unique along each nest path, and steps are non-zero. *)
+    index names are unique along each nest path, steps are non-zero, and
+    statement labels are unique across the whole program (dependence
+    analysis keys statements by label). *)
 
 val param_env : t -> string -> int
 (** Evaluation environment for the default parameter values.

@@ -17,6 +17,7 @@ module Pool = Locality_par.Pool
 module Obs = Locality_obs.Obs
 module Event = Locality_obs.Event
 module Store = Locality_store.Store
+module Tune = Locality_stats.Tune
 
 type listen = Socket of string | Stdio
 
@@ -77,6 +78,10 @@ type waiter = {
 type job = {
   j_fp : string;
   j_cfg : Driver.config;
+  j_tune : Request.tune_spec option;
+      (* a tune request runs the search instead of one measurement;
+         the fingerprint includes the tune object, so tune and plain
+         queries over the same config never share a job *)
   mutable j_waiters : waiter list;
 }
 
@@ -193,8 +198,25 @@ let process t job =
     let result, events =
       Obs.scoped (fun () ->
           Obs.span "serve.request" (fun () ->
-              try Driver.run job.j_cfg
-              with e -> Error ("serve: " ^ Printexc.to_string e)))
+              try
+                match job.j_tune with
+                | None -> `Run (Driver.run job.j_cfg)
+                | Some ts ->
+                  `Tune
+                    (Result.map Tune.to_json
+                       (Tune.run_config ~spec:(Tune.spec_of_request ts)
+                          job.j_cfg))
+              with e -> `Run (Error ("serve: " ^ Printexc.to_string e))))
+    in
+    let ok =
+      match result with
+      | `Run r -> Result.is_ok r
+      | `Tune r -> Result.is_ok r
+    in
+    let response_for w =
+      match result with
+      | `Run r -> Response.of_run ~id:w.w_id ~emit_program:w.w_emit r
+      | `Tune r -> Response.of_tune ~id:w.w_id r
     in
     (* Claim before writing: a waiter is answered by exactly one side,
        us or the deadline scan. Whoever flips [w_answered] first under
@@ -206,11 +228,7 @@ let process t job =
           List.iter (fun w -> w.w_answered <- true) ws;
           ws)
     in
-    List.iter
-      (fun w ->
-        respond w.w_conn
-          (Response.of_run ~id:w.w_id ~emit_program:w.w_emit result))
-      claimed;
+    List.iter (fun w -> respond w.w_conn (response_for w)) claimed;
     (* Only now release the refs and the in-flight slot: the main loop
        treats [n_inflight = 0] as "all replies written" when draining,
        and the reaper trusts a nonzero refcount to mean a write may
@@ -218,7 +236,7 @@ let process t job =
     locked t (fun () ->
         List.iter (fun w -> w.w_conn.c_refs <- w.w_conn.c_refs - 1) claimed;
         t.n_inflight <- t.n_inflight - 1;
-        Queue.push (Done (Result.is_ok result, events)) t.completions);
+        Queue.push (Done (ok, events)) t.completions);
     wake t
   end
 
@@ -292,7 +310,8 @@ let handle_line l conn line =
                 | None ->
                   let w = mk_waiter () in
                   let job =
-                    { j_fp = fp; j_cfg = cfg; j_waiters = [ w ] }
+                    { j_fp = fp; j_cfg = cfg; j_tune = req.Request.tune;
+                      j_waiters = [ w ] }
                   in
                   Hashtbl.add t.inflight fp job;
                   t.n_inflight <- t.n_inflight + 1;

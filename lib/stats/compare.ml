@@ -21,6 +21,7 @@ type t = {
   c_config : Cache.config;
   c_exact : bool;
   c_verdict : [ `Compared of row list * row | `Fallback of string ];
+  c_tuned : (string * float) option;
 }
 
 let miss_rate ~accesses ~misses =
@@ -50,11 +51,26 @@ let unit_labels node =
   in
   stmt_labels node
 
-let run ?params ?(config = Machine.cache1) ~name (p : Program.t) =
+let run ?params ?(config = Machine.cache1) ?(tune = false) ~name (p : Program.t) =
+  (* The tuned line is opt-in: a quick-profile transformation search
+     (see {!Tune.quick_spec}) whose winner rides beside the model-vs-
+     simulator rows, so one report answers both "how good is the model"
+     and "how good could this nest get". *)
+  let c_tuned =
+    if not tune then None
+    else
+      match
+        Tune.run ~spec:Tune.quick_spec ?params ~machine:config ~name p
+      with
+      | Error _ -> None
+      | Ok t ->
+        Option.bind t.Tune.t_winner (fun (w : Tune.row) ->
+            Option.map (fun m -> (w.Tune.enc, m)) w.Tune.simulated_miss)
+  in
   match Analytic.estimate ?params ~config p with
   | Error reason ->
     { c_name = name; c_config = config; c_exact = false;
-      c_verdict = `Fallback reason }
+      c_verdict = `Fallback reason; c_tuned }
   | Ok est ->
     let cap = Measure.capture ~mode:Measure.Runs ?params p in
     let whole_sim = Measure.replay ~config cap in
@@ -89,7 +105,7 @@ let run ?params ?(config = Machine.cache1) ~name (p : Program.t) =
           - est.Analytic.e_whole.Analytic.c_hits)
     in
     { c_name = name; c_config = config; c_exact = est.Analytic.e_exact;
-      c_verdict = `Compared (rows, whole) }
+      c_verdict = `Compared (rows, whole); c_tuned }
 
 (* ------------------------------------------------------- rendering --- *)
 
@@ -113,6 +129,11 @@ let render t =
     addf "whole-program class: %s"
       (if t.c_exact then "exact (analytic counts are simulator-equal)"
        else "approx (bracketed estimates)"));
+  (match t.c_tuned with
+  | Some (enc, miss) ->
+    addf "tuned (quick search): %s  simulated %s%% miss" enc
+      (Report.fmt_pct miss)
+  | None -> ());
   Buffer.contents b
 
 (* ------------------------------------------------------------ JSON --- *)
@@ -143,6 +164,15 @@ let to_json t =
       ("program", Json.str t.c_name);
       ("cache", Json.str t.c_config.Cache.name);
       ("exact", if t.c_exact then "true" else "false");
+      ( "tuned",
+        match t.c_tuned with
+        | Some (enc, miss) ->
+          Json.obj
+            [
+              ("candidate", Json.str enc);
+              ("simulated_miss_rate", float_json miss);
+            ]
+        | None -> "null" );
     ]
   in
   (match t.c_verdict with

@@ -26,11 +26,15 @@ type t = {
   c_verdict : [ `Compared of row list * row | `Fallback of string ];
       (** per-unit rows plus the whole-program row, or the analytic
           fallback reason (the simulator row set is skipped then) *)
+  c_tuned : (string * float) option;
+      (** with [~tune:true]: the quick-profile {!Tune} winner — its
+          candidate encoding and simulated miss rate (percent) on the
+          same geometry *)
 }
 
 val run :
-  ?params:(string * int) list -> ?config:Cache.config -> name:string ->
-  Program.t -> t
+  ?params:(string * int) list -> ?config:Cache.config -> ?tune:bool ->
+  name:string -> Program.t -> t
 (** Analyze and simulate the program under one geometry (default
     {!Locality_cachesim.Machine.cache1}). The simulator side replays
     one capture once per unit, with that unit's statement labels as the

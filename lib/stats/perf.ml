@@ -137,9 +137,10 @@ type hit_row = {
   whole1_final : float;
   whole2_orig : float;
   whole2_final : float;
+  whole1_tuned : float option;
 }
 
-let table4_rows ?(n = 32) ?cls:_ ?jobs (rows : Table2.row list) =
+let table4_rows ?(n = 32) ?cls:_ ?jobs ?(tune = false) (rows : Table2.row list) =
   let rows =
     (* Each program version is interpreted once and its trace replayed
        on both geometries, rows in parallel; the optimizer already ran
@@ -172,6 +173,23 @@ let table4_rows ?(n = 32) ?cls:_ ?jobs (rows : Table2.row list) =
           in
           let o1 = m1.D.original_run and f1 = m1.D.transformed_run in
           let o2 = m2.D.original_run and f2 = m2.D.transformed_run in
+          (* Opt-in like Table 2's Tuned% column, but at this table's
+             geometry (params N=n), so the tuned hit rate is comparable
+             to the Whole1 columns beside it. *)
+          let whole1_tuned =
+            if not tune then None
+            else
+              match
+                Tune.run ~spec:Tune.quick_spec
+                  ~params:[ ("N", n) ]
+                  ~machine:Machine.cache1
+                  ~name:r.Table2.entry.S.Programs.name r.Table2.original
+              with
+              | Error _ -> None
+              | Ok t ->
+                Option.bind t.Tune.t_winner (fun (w : Tune.row) ->
+                    Option.map (fun m -> 100.0 -. m) w.Tune.simulated_miss)
+          in
           Some
             {
               name = res.D.name;
@@ -183,23 +201,27 @@ let table4_rows ?(n = 32) ?cls:_ ?jobs (rows : Table2.row list) =
               whole1_final = Measure.hit_rate f1.Measure.whole;
               whole2_orig = Measure.hit_rate o2.Measure.whole;
               whole2_final = Measure.hit_rate f2.Measure.whole;
+              whole1_tuned;
             }
         end)
       rows
   in
   List.filter_map Fun.id rows
 
-let table4 ?n ?cls ?jobs rows =
-  let hit_rows = table4_rows ?n ?cls ?jobs rows in
+let table4 ?n ?cls ?jobs ?tune rows =
+  let hit_rows = table4_rows ?n ?cls ?jobs ?tune rows in
   Report.render
     ~title:"Table 4: Simulated Cache Hit Rates (cold misses excluded)"
     ~note:
       "cache1 = 64KB 4-way 128B lines (RS/6000); cache2 = 8KB 2-way 32B \
-       lines (i860). Optimized = accesses in nests the compiler changed."
+       lines (i860). Optimized = accesses in nests the compiler changed. \
+       Whole1 Tuned = the quick transformation-search winner's whole-program \
+       hit rate on cache1 (with ~tune, else -)."
     [ Report.Left ]
     [
       "Program"; "Opt1 Orig"; "Opt1 Final"; "Opt2 Orig"; "Opt2 Final";
-      "Whole1 Orig"; "Whole1 Final"; "Whole2 Orig"; "Whole2 Final";
+      "Whole1 Orig"; "Whole1 Final"; "Whole1 Tuned"; "Whole2 Orig";
+      "Whole2 Final";
     ]
     (List.map
        (fun r ->
@@ -211,6 +233,9 @@ let table4 ?n ?cls ?jobs rows =
            Report.fmt_pct r.opt2_final;
            Report.fmt_pct r.whole1_orig;
            Report.fmt_pct r.whole1_final;
+           (match r.whole1_tuned with
+           | Some h -> Report.fmt_pct h
+           | None -> "-");
            Report.fmt_pct r.whole2_orig;
            Report.fmt_pct r.whole2_final;
          ])

@@ -37,12 +37,18 @@ type hit_row = {
   whole1_final : float;
   whole2_orig : float;
   whole2_final : float;
+  whole1_tuned : float option;
+      (** with [~tune:true]: the quick-profile {!Tune} winner's
+          whole-program hit rate on cache1 — the "tuned" column beside
+          the memory-order (Final) results *)
 }
 
 val table4_rows :
-  ?n:int -> ?cls:int -> ?jobs:int -> Table2.row list -> hit_row list
+  ?n:int -> ?cls:int -> ?jobs:int -> ?tune:bool -> Table2.row list ->
+  hit_row list
 
-val table4 : ?n:int -> ?cls:int -> ?jobs:int -> Table2.row list -> string
+val table4 :
+  ?n:int -> ?cls:int -> ?jobs:int -> ?tune:bool -> Table2.row list -> string
 (** Simulated hit rates (cold misses excluded) for optimized procedures
     and whole programs, on cache1 (RS/6000) and cache2 (i860). Each
     program version is interpreted once and its trace replayed on both

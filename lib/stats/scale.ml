@@ -40,25 +40,30 @@ let render_scale () =
   line "%-10s %-8s %-12s %9s %9s %9s %10s" "kernel" "cache" "version"
     "runs%" "stream%" "sample%" "sample-err";
   let mismatches = ref 0 in
+  let row_errors = ref 0 in
   let max_err = ref 0.0 in
   List.iter
     (fun kernel ->
       let run mode =
         (* Through the typed request API, like every other batch caller:
            the presets round-trip to Named machines, so the request is
-           exactly what a serve client would send for this row. *)
+           exactly what a serve client would send for this row. A failed
+           row must not abort the whole sweep — it is reported in place
+           and the remaining kernels still run. *)
         let req =
           Request.make ~n:32 ~scale:f ~replay:mode
             ~machines:(List.map Request.machine_of_config caches)
             (Request.Kernel kernel)
         in
         match Request.to_config req with
-        | Ok cfg -> D.run_exn cfg
-        | Error msg -> failwith msg
+        | Ok cfg -> D.run cfg
+        | Error msg -> Error msg
       in
-      let exact = run Measure.Runs in
-      let streamed = run Measure.Stream in
-      let sampled = run Measure.Sampled in
+      match (run Measure.Runs, run Measure.Stream, run Measure.Sampled) with
+      | (Error msg, _, _) | (_, Error msg, _) | (_, _, Error msg) ->
+        incr row_errors;
+        line "%-10s %-8s %-12s error: %s" kernel "-" "-" msg
+      | Ok exact, Ok streamed, Ok sampled ->
       List.iteri
         (fun i cache ->
           let pick (r : D.result) = List.nth r.D.measured i in
@@ -90,6 +95,7 @@ let render_scale () =
         caches)
     kernels;
   line "stream-mismatches=%d" !mismatches;
+  line "row-errors=%d" !row_errors;
   line "sample max-err=%.2fpt" !max_err;
   Buffer.contents buf
 

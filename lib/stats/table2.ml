@@ -18,6 +18,7 @@ type row = {
   dist_results : int;
   ratio_final : float;
   ratio_ideal : float;
+  tuned : float option;
   original : Program.t;
   transformed : Program.t;
   optimized_labels : string list;
@@ -50,9 +51,25 @@ let ratio_avg eval_n pairs =
   | [] -> 1.0
   | _ -> List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
 
-let compute_row ?(n = 24) ?(cls = 4) entry =
+let compute_row ?(n = 24) ?(cls = 4) ?(tune = false) entry =
   let r = D.run_exn (D.config ~n ~cls (D.Source_entry entry)) in
   let original = r.D.original in
+  (* The tuned column is opt-in (it simulates finalists); quick profile
+     on cache1, like the hit-rate tables. A search that errors out (no
+     nest to tune) reads as "-", not as a failed row. *)
+  let tuned =
+    if not tune then None
+    else
+      match
+        Tune.run ~spec:Tune.quick_spec ~n ~cls
+          ~machine:Locality_cachesim.Machine.cache1
+          ~name:entry.S.Programs.name original
+      with
+      | Error _ -> None
+      | Ok t ->
+        Option.bind t.Tune.t_winner (fun (w : Tune.row) ->
+            w.Tune.simulated_miss)
+  in
   let stats = Option.get r.D.compound in
   let nests = stats.C.Compound.nests in
   let count f = List.length (List.filter f nests) in
@@ -85,6 +102,7 @@ let compute_row ?(n = 24) ?(cls = 4) entry =
         (List.map
            (fun s -> (s.C.Compound.cost_orig, s.C.Compound.cost_ideal))
            nests);
+    tuned;
     original;
     transformed = r.D.transformed;
     optimized_labels = r.D.optimized_labels;
@@ -92,15 +110,15 @@ let compute_row ?(n = 24) ?(cls = 4) entry =
 
 (* Rows are independent per program, so they are computed on the domain
    pool; results come back in suite order regardless of pool size. *)
-let compute ?jobs ?n ?cls () =
-  Locality_par.Pool.map ?jobs (compute_row ?n ?cls) S.Programs.all
+let compute ?jobs ?n ?cls ?tune () =
+  Locality_par.Pool.map ?jobs (compute_row ?n ?cls ?tune) S.Programs.all
 
 let render rows =
   let header =
     [
       "Program"; "Lines"; "Loops"; "Nests"; "Orig%"; "Perm%"; "Fail%";
       "iOrig%"; "iPerm%"; "iFail%"; "FusC"; "FusA"; "DistD"; "DistR";
-      "Final"; "Ideal";
+      "Final"; "Ideal"; "Tuned%";
     ]
   in
   let body =
@@ -123,6 +141,9 @@ let render rows =
           string_of_int r.dist_results;
           Printf.sprintf "%.2f" r.ratio_final;
           Printf.sprintf "%.2f" r.ratio_ideal;
+          (match r.tuned with
+          | Some m -> Printf.sprintf "%.2f" m
+          | None -> "-");
         ])
       rows
   in
@@ -142,7 +163,7 @@ let render rows =
       string_of_int (sum (fun r -> r.fusions));
       string_of_int (sum (fun r -> r.dist));
       string_of_int (sum (fun r -> r.dist_results));
-      ""; "";
+      ""; ""; "";
     ]
   in
   let groups =
@@ -170,7 +191,9 @@ let render rows =
       "Synthetic reconstructions of the paper's 35 programs (Lines = paper's \
        size). Orig/Perm/Fail = % of nests in / permuted into / failing \
        memory order; iXxx = same for the innermost loop; Final/Ideal = \
-       average LoopCost(original)/LoopCost(version)."
+       average LoopCost(original)/LoopCost(version); Tuned% = simulated \
+       miss rate of the quick transformation-search winner on cache1 \
+       (with ~tune, else -)."
     [ Report.Left ]
     header
     (body @ group_rows @ [ subtotal "totals" rows ])

@@ -16,6 +16,10 @@ type row = {
   dist_results : int;
   ratio_final : float;  (** avg original/final LoopCost, at default N *)
   ratio_ideal : float;
+  tuned : float option;
+      (** with [~tune:true]: the quick-profile {!Tune} winner's simulated
+          miss rate (percent) on cache1 — the "tuned" column beside the
+          memory-order results *)
   original : Program.t;
   transformed : Program.t;
   optimized_labels : string list;
@@ -24,8 +28,10 @@ type row = {
 
 val count_loops : Program.t -> int
 
-val compute_row : ?n:int -> ?cls:int -> Locality_suite.Programs.entry -> row
-val compute : ?jobs:int -> ?n:int -> ?cls:int -> unit -> row list
+val compute_row :
+  ?n:int -> ?cls:int -> ?tune:bool -> Locality_suite.Programs.entry -> row
+val compute :
+  ?jobs:int -> ?n:int -> ?cls:int -> ?tune:bool -> unit -> row list
 (** All 35 programs. Rows are computed in parallel on the domain pool
     ([jobs] defaults to {!Locality_par.Pool.default_jobs}); the result
     list is in suite order and identical for every pool size. *)

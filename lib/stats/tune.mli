@@ -1,0 +1,145 @@
+(** [memoria tune]: store-memoized search over the typed transformation
+    space — structure (as-is / fused / distributed) × loop permutation ×
+    tile size × unroll-and-jam factor.
+
+    The search is enumerate → screen → confirm → memoize:
+
+    + {e enumerate} the candidate space for the program's deepest
+      top-level nest, in a fixed order (identity permutation first, the
+      rest lexicographic in spine order; tile and unroll options in spec
+      order), so the candidate list is identical on every run;
+    + {e screen} every candidate: illegal ones (a transform stage
+      rejects, or the result fails {!Program.validate}) are pruned,
+      legal ones are costed with the [Analytic] replay mode — O(nest
+      size) with transparent simulator fallback — fanned out over
+      {!Locality_par.Pool} (input-order results, so any [MEMORIA_JOBS]
+      gives the same answer);
+    + {e confirm} the top-K analytic finalists with the exact simulator
+      ([Runs] mode); the winner is the lowest simulated miss rate, ties
+      broken lexicographically on the candidate encoding;
+    + {e memoize}: every screened and confirmed rate is stored under the
+      content-addressed ["tune"] kind, keyed by the {e transformed}
+      program text plus geometry, timing and parameters — so re-tuning
+      is warm, and candidates shared between kernels (the six matmul
+      orders permute into each other) hit across kernels.
+
+    Obs surface: [tune.generated], [tune.pruned_illegal],
+    [tune.screened], [tune.simulated], [tune.truncated],
+    [tune.store_hit], [tune.store_miss] counters; [tune.enumerate] /
+    [tune.screen] / [tune.confirm] spans; [tune.screen.miss_bp] and
+    [tune.confirm.miss_bp] histograms (miss rate in basis points);
+    a [tune.store_hit_rate] gauge. *)
+
+module D = Locality_driver.Driver
+module Cache = Locality_cachesim.Cache
+module Machine = Locality_cachesim.Machine
+module Store = Locality_store.Store
+
+type spec = {
+  tiles : int list;  (** tile-size band, e.g. [[8;16;32;64]] *)
+  unrolls : int list;  (** unroll-and-jam factors, e.g. [[2;4;8]] *)
+  top_k : int;  (** finalists confirmed with the exact simulator *)
+  max_candidates : int;
+      (** enumeration cap; candidates beyond it are dropped and counted
+          ([t_truncated], [tune.truncated]) — never silently *)
+}
+
+val default_spec : spec
+(** [{tiles = [8;16;32;64]; unrolls = [2;4;8]; top_k = 5;
+     max_candidates = 4096}] — the issue's full band. *)
+
+val quick_spec : spec
+(** A cheap profile for table columns and smoke tests:
+    [{tiles = [16]; unrolls = [4]; top_k = 1; max_candidates = 96}]. *)
+
+val spec_of_request : Locality_driver.Request.tune_spec -> spec
+(** Resolve a wire-level tune spec: every [None] field falls back to
+    {!default_spec} — how the serve daemon and [memoria sim --request]
+    turn a request's [tune] object into a search space. *)
+
+type structure = Asis | Fused | Distributed
+
+type candidate = {
+  structure : structure;
+  perm : string list option;  (** target spine order, [None] = keep *)
+  tile : int option;
+  unroll : (string * int) option;  (** loop name × factor *)
+}
+
+val encode : candidate -> string
+(** Canonical encoding, e.g. ["S=asis;P=J,K,I;T=16;U=K*4"] — the store
+    key component and the deterministic tie-break. *)
+
+val apply :
+  ?cls:int ->
+  Program.t ->
+  nest_idx:int ->
+  candidate ->
+  (Program.t * string list) option
+(** Apply a candidate to the top-level nest at [nest_idx]: structure
+    first, then permutation (legality-checked), tiling (over
+    {!Locality_core.Tiling.recommend}'s band), then unroll-and-jam with
+    program-wide label freshening. [None] when any stage rejects or the
+    result fails validation — a malformed candidate is pruned, never
+    propagated. Exposed for tests and the fuzz harness. *)
+
+type status = Illegal | Screened | Confirmed
+
+type row = {
+  enc : string;
+  status : status;
+  analytic_miss : float option;  (** [None] iff illegal *)
+  simulated_miss : float option;  (** [Some] iff confirmed *)
+}
+
+type result = {
+  t_name : string;
+  t_machine : Cache.config;
+  t_n : int option;
+  t_generated : int;
+  t_pruned : int;
+  t_screened : int;
+  t_confirmed : int;
+  t_truncated : int;
+  t_store_hits : int;  (** warm ["tune"]-kind lookups this pass *)
+  t_store_misses : int;
+  t_baseline_miss : float;  (** original program, exact simulator, % *)
+  t_memorder_miss : float;
+      (** the compound (memory-order) transform's result — the paper's
+          single-pass answer the winner is judged against *)
+  t_rows : row list;  (** every candidate, enumeration order *)
+  t_winner : row option;  (** best confirmed; [None] if none legal *)
+  t_winner_program : Program.t;  (** the original when no winner *)
+  t_winner_labels : string list;
+}
+
+val run :
+  ?spec:spec ->
+  ?n:int ->
+  ?cls:int ->
+  ?machine:Cache.config ->
+  ?timing:Machine.timing ->
+  ?params:(string * int) list ->
+  ?jobs:int ->
+  ?store:Store.t option ->
+  name:string ->
+  Program.t ->
+  (result, string) Stdlib.result
+(** Tune one program. Deterministic at any [jobs]: fixed enumeration
+    order, pool results in input order, lexicographic tie-breaks.
+    Errors follow the driver's ["<name>: <detail>"] contract; no input
+    raises. [machine] defaults to cache1, [store] to the ambient
+    [MEMORIA_STORE]. *)
+
+val run_config : ?spec:spec -> ?jobs:int -> D.config -> (result, string) Stdlib.result
+(** {!run} driven by a driver config (the serve daemon and
+    [memoria tune]'s request path): source loaded via {!D.load}, scored
+    on the config's first machine (cache1 when none), with its cls,
+    timing, params and store. *)
+
+val render : result -> string
+(** Human-readable report: counts, store warmth, baseline vs memory
+    order vs winner, and the confirmed top-K table. *)
+
+val to_json : result -> string
+(** Versioned JSON document (see [doc/SCHEMA.md]), newline-terminated. *)

@@ -417,6 +417,112 @@ let lu n =
         ];
     ]
 
+(* ---- AI/HPC additions: chained GEMMs, convolution, attention ----- *)
+
+(* T = A*B; E = T*C. Two IJK triple nests; the producer nest's T(I,J)
+   output feeds the consumer's T(I,K) input, so the search space has a
+   real fusion/distribution decision and two independent permutation
+   choices. *)
+let matmul_chain n =
+  let nn = v "N" in
+  let gemm out a b =
+    do_ "I" (i 1) nn
+      [
+        do_ "J" (i 1) nn
+          [
+            do_ "K" (i 1) nn
+              [
+                asn
+                  (r out [ v "I"; v "J" ])
+                  (ld out [ v "I"; v "J" ]
+                  +! (ld a [ v "I"; v "K" ] *! ld b [ v "K"; v "J" ]));
+              ];
+          ];
+      ]
+  in
+  program "matmul_chain"
+    ~params:[ ("N", n) ]
+    ~arrays:
+      [
+        ("A", [ nn; nn ]); ("B", [ nn; nn ]); ("C", [ nn; nn ]);
+        ("T", [ nn; nn ]); ("E", [ nn; nn ]);
+      ]
+    [ gemm "T" "A" "B"; gemm "E" "T" "C" ]
+
+(* Direct 2-D convolution with a 3x3 window: the IN subscripts are
+   two-variable affine (I+P, J+Q), which the dependence tester and the
+   cost model handle through the shared affine normal form. *)
+let conv2d n =
+  let nn = v "N" in
+  program "conv2d"
+    ~params:[ ("N", n) ]
+    ~arrays:
+      [
+        ("IN", [ nn +$ i 3; nn +$ i 3 ]);
+        ("W", [ i 3; i 3 ]);
+        ("OUT", [ nn; nn ]);
+      ]
+    [
+      do_ "P" (i 1) (i 3)
+        [
+          do_ "Q" (i 1) (i 3)
+            [
+              do_ "I" (i 1) nn
+                [
+                  do_ "J" (i 1) nn
+                    [
+                      asn
+                        (r "OUT" [ v "I"; v "J" ])
+                        (ld "OUT" [ v "I"; v "J" ]
+                        +! (ld "IN" [ v "I" +$ v "P"; v "J" +$ v "Q" ]
+                           *! ld "W" [ v "P"; v "Q" ]));
+                    ];
+                ];
+            ];
+        ];
+    ]
+
+(* Attention-shaped pair of nests, softmax-free: S = Q*K^T (K^T read as
+   KM(J,K), i.e. across rows) then O = S*V. The transposed read gives
+   the first nest a genuine permutation problem. *)
+let attention n =
+  let nn = v "N" in
+  program "attention"
+    ~params:[ ("N", n) ]
+    ~arrays:
+      [
+        ("QM", [ nn; nn ]); ("KM", [ nn; nn ]); ("VM", [ nn; nn ]);
+        ("S", [ nn; nn ]); ("O", [ nn; nn ]);
+      ]
+    [
+      do_ "I" (i 1) nn
+        [
+          do_ "J" (i 1) nn
+            [
+              do_ "K" (i 1) nn
+                [
+                  asn
+                    (r "S" [ v "I"; v "J" ])
+                    (ld "S" [ v "I"; v "J" ]
+                    +! (ld "QM" [ v "I"; v "K" ] *! ld "KM" [ v "J"; v "K" ]));
+                ];
+            ];
+        ];
+      do_ "I" (i 1) nn
+        [
+          do_ "J" (i 1) nn
+            [
+              do_ "K" (i 1) nn
+                [
+                  asn
+                    (r "O" [ v "I"; v "J" ])
+                    (ld "O" [ v "I"; v "J" ]
+                    +! (ld "S" [ v "I"; v "K" ] *! ld "VM" [ v "K"; v "J" ]));
+                ];
+            ];
+        ];
+    ]
+
 let all =
   [
     ("matmul", matmul ?order:None);
@@ -434,4 +540,7 @@ let all =
     ("btrix", btrix);
     ("swm", shallow_water);
     ("transpose", transpose);
+    ("matmul_chain", matmul_chain);
+    ("conv2d", conv2d);
+    ("attention", attention);
   ]

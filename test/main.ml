@@ -26,4 +26,5 @@ let () =
       ("stream", Test_stream.suite);
       ("sample", Test_sample.suite);
       ("serve", Test_serve.suite);
+      ("tune", Test_tune.suite);
     ]

@@ -1,0 +1,284 @@
+(* The transformation-search driver: determinism across pool sizes,
+   store warmth on re-tuning, the hardened imperfect-nest paths in
+   unroll/distribution, label freshening under collision pressure, the
+   request wire format's tune field, and a fuzz sweep that tunes
+   generated programs without raising. *)
+
+open Locality_ir
+open Builder
+module Tune = Locality_stats.Tune
+module Unroll = Locality_core.Unroll
+module Distribution = Locality_core.Distribution
+module Store = Locality_store.Store
+module Request = Locality_driver.Request
+module S = Locality_suite
+module Fuzz = Locality_fuzz
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let or_fail = function
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "tune failed: %s" msg
+
+(* A spec wide enough to exercise structure x perm x tile x unroll but
+   cheap enough for the test suite. *)
+let test_spec =
+  { Tune.tiles = [ 8; 16 ]; unrolls = [ 2; 4 ]; top_k = 2; max_candidates = 128 }
+
+(* ------------------------------------------- determinism at any jobs --- *)
+
+let test_jobs_determinism () =
+  let tune jobs =
+    or_fail
+      (Tune.run ~spec:test_spec ~n:8 ~jobs ~store:None ~name:"matmul"
+         (S.Kernels.matmul 8))
+  in
+  let r1 = tune 1 and r4 = tune 4 in
+  checks "render byte-identical at jobs=1 vs 4" (Tune.render r1)
+    (Tune.render r4);
+  checks "json byte-identical at jobs=1 vs 4" (Tune.to_json r1)
+    (Tune.to_json r4);
+  checkb "a winner was confirmed" true (r1.Tune.t_winner <> None)
+
+(* ------------------------------------------------ store cold vs warm --- *)
+
+let dir_ticket = ref 0
+
+let fresh_dir () =
+  incr dir_ticket;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "memoria-tune-test-%d-%d" (Unix.getpid ()) !dir_ticket)
+
+let strip_store_counts (r : Tune.result) =
+  { r with Tune.t_store_hits = 0; t_store_misses = 0 }
+
+let test_store_warm_rerun () =
+  let st = Store.open_root (fresh_dir ()) in
+  let tune () =
+    or_fail
+      (Tune.run ~spec:test_spec ~n:8 ~store:(Some st) ~name:"matmul"
+         (S.Kernels.matmul 8))
+  in
+  let cold = tune () in
+  let warm = tune () in
+  (* Identical search result either way; only the warmth counters may
+     differ between the passes. *)
+  checks "cold and warm agree"
+    (Tune.render (strip_store_counts cold))
+    (Tune.render (strip_store_counts warm));
+  let lookups = warm.Tune.t_store_hits + warm.Tune.t_store_misses in
+  checkb "warm pass did store lookups" true (lookups > 0);
+  checkb "warm pass >= 95% hits" true
+    (float_of_int warm.Tune.t_store_hits >= 0.95 *. float_of_int lookups)
+
+(* ------------------------------- imperfect nests: typed rejection ------ *)
+
+(* Statement-then-loop bodies used to trip [assert false] in unroll and
+   distribution; both must now answer with a typed no. *)
+let imperfect_nests () =
+  List.concat_map
+    (fun mk -> Program.top_loops (mk 8))
+    [ S.Kernels.cholesky ?form:None; S.Kernels.lu; S.Kernels.erlebacher_hand ]
+
+let test_unroll_imperfect_nest () =
+  List.iter
+    (fun nest ->
+      let spine = Loop.loops_on_spine nest in
+      List.iter
+        (fun (h : Loop.header) ->
+          match
+            Unroll.unroll_and_jam nest ~loop:h.Loop.index ~factor:2
+          with
+          | Some _ | None -> ())
+        spine)
+    (imperfect_nests ());
+  (* cholesky's outer K carries a statement beside the inner loop: the
+     nest is imperfect, so jamming must refuse rather than assert. *)
+  let chol = List.hd (Program.top_loops (S.Kernels.cholesky 8)) in
+  checkb "imperfect nest rejected" true
+    (Unroll.unroll_and_jam chol ~loop:"K" ~factor:2 = None)
+
+let test_distribution_imperfect_nest () =
+  List.iter
+    (fun nest ->
+      match Distribution.run ~cls:4 nest with Some _ | None -> ())
+    (imperfect_nests ());
+  checkb "no exception across imperfect nests" true true
+
+(* --------------------------------- unroll label freshening ------------ *)
+
+let rec block_labels b =
+  List.concat_map
+    (function
+      | Loop.Stmt (s : Stmt.t) -> [ s.Stmt.label ]
+      | Loop.Loop l -> block_labels l.Loop.body)
+    b
+
+(* A program whose other nest already uses the [_u<k>]/[_r] suffixes the
+   unroller would naturally pick for statement S. *)
+let collision_program () =
+  let nn = v "N" in
+  program "collide"
+    ~params:[ ("N", 8) ]
+    ~arrays:[ ("A", [ nn; nn ]); ("B", [ nn; nn ]) ]
+    [
+      do_ "I" (i 1) nn
+        [
+          do_ "J" (i 1) nn
+            [
+              asn ~label:"S"
+                (r "A" [ v "I"; v "J" ])
+                (ld "A" [ v "I"; v "J" ] +! ld "B" [ v "J"; v "I" ]);
+            ];
+        ];
+      do_ "K" (i 1) nn
+        [
+          asn ~label:"S_u1" (r "B" [ v "K"; i 1 ]) (ld "B" [ v "K"; i 1 ]);
+          asn ~label:"S_r" (r "B" [ v "K"; i 2 ]) (ld "B" [ v "K"; i 2 ]);
+        ];
+    ]
+
+let test_unroll_label_collision () =
+  let p = collision_program () in
+  let avoid = block_labels p.Program.body in
+  let nest =
+    match List.hd p.Program.body with
+    | Loop.Loop l -> l
+    | Loop.Stmt _ -> Alcotest.fail "expected a nest"
+  in
+  match Unroll.unroll_and_jam ~avoid nest ~loop:"I" ~factor:2 with
+  | None -> Alcotest.fail "unroll refused a perfect nest"
+  | Some block ->
+    let labels = block_labels block in
+    checki "labels unique" (List.length labels)
+      (List.length (List.sort_uniq String.compare labels));
+    (* The copies must dodge both the nest's own labels and the sibling
+       nest's pre-existing suffixed ones. *)
+    List.iter
+      (fun l ->
+        checkb
+          (Printf.sprintf "label %s fresh against program" l)
+          true
+          (l = "S" || not (List.mem l avoid)))
+      labels
+
+let test_tune_apply_unroll_validates () =
+  let p = collision_program () in
+  let cand =
+    {
+      Tune.structure = Tune.Asis;
+      perm = None;
+      tile = None;
+      unroll = Some ("I", 2);
+    }
+  in
+  match Tune.apply p ~nest_idx:0 cand with
+  | None -> Alcotest.fail "unroll candidate rejected"
+  | Some (p', _) ->
+    checkb "unrolled program validates" true
+      (match Program.validate p' with Ok () -> true | Error _ -> false)
+
+let test_validate_rejects_duplicate_labels () =
+  let nn = v "N" in
+  let build () =
+    program "dup"
+      ~params:[ ("N", 4) ]
+      ~arrays:[ ("A", [ nn ]) ]
+      [
+        do_ "I" (i 1) nn
+          [
+            asn ~label:"X" (r "A" [ v "I" ]) (ld "A" [ v "I" ]);
+            asn ~label:"X" (r "A" [ v "I" ]) (ld "A" [ v "I" ] +! f 1.0);
+          ];
+      ]
+  in
+  checkb "duplicate label refused" true
+    (match build () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------ request wire format: tune ------- *)
+
+let test_request_tune_roundtrip () =
+  let ts =
+    {
+      Request.t_top_k = Some 2;
+      t_tiles = Some [ 8; 16 ];
+      t_unrolls = None;
+      t_max_candidates = Some 100;
+    }
+  in
+  let req = Request.make ~id:"rt" ~n:12 ~tune:ts (Request.Kernel "matmul") in
+  let json = Request.to_json req in
+  (match Request.of_json json with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok req' ->
+    checks "re-serializes to the same bytes" json (Request.to_json req');
+    checks "fingerprint stable" (Request.fingerprint req)
+      (Request.fingerprint req'));
+  let plain = Request.make ~id:"rt" ~n:12 (Request.Kernel "matmul") in
+  checkb "tune is part of the fingerprint" true
+    (Request.fingerprint req <> Request.fingerprint plain)
+
+let test_request_tune_defaults () =
+  let ts =
+    {
+      Request.t_top_k = None;
+      t_tiles = None;
+      t_unrolls = None;
+      t_max_candidates = None;
+    }
+  in
+  let spec = Tune.spec_of_request ts in
+  checkb "all-None resolves to the default spec" true
+    (spec = Tune.default_spec)
+
+(* --------------------------------------------- fuzz: tune never raises - *)
+
+let fuzz_spec =
+  { Tune.tiles = [ 8 ]; unrolls = [ 2 ]; top_k = 1; max_candidates = 24 }
+
+let test_fuzz_tune_no_raise () =
+  let count = 200 in
+  let failures = ref 0 in
+  for index = 0 to count - 1 do
+    let p = Fuzz.Gen.generate ~seed:11 ~index ~size:16 in
+    match
+      Tune.run ~spec:fuzz_spec ~n:6 ~store:None
+        ~name:(Printf.sprintf "fuzz-%d" index)
+        p
+    with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      incr failures;
+      Printf.eprintf "tune raised on fuzz index %d: %s\n" index
+        (Printexc.to_string e)
+  done;
+  checki "no exceptions over 200 fuzz programs" 0 !failures
+
+let suite =
+  [
+    Alcotest.test_case "tune: jobs=1 vs jobs=4 byte-identical" `Quick
+      test_jobs_determinism;
+    Alcotest.test_case "tune: warm store rerun, >=95% hits" `Quick
+      test_store_warm_rerun;
+    Alcotest.test_case "unroll: imperfect nests rejected, no assert" `Quick
+      test_unroll_imperfect_nest;
+    Alcotest.test_case "distribution: imperfect nests, no assert" `Quick
+      test_distribution_imperfect_nest;
+    Alcotest.test_case "unroll: label freshening dodges collisions" `Quick
+      test_unroll_label_collision;
+    Alcotest.test_case "tune apply: unrolled program validates" `Quick
+      test_tune_apply_unroll_validates;
+    Alcotest.test_case "program: duplicate labels refused" `Quick
+      test_validate_rejects_duplicate_labels;
+    Alcotest.test_case "request: tune field round-trips" `Quick
+      test_request_tune_roundtrip;
+    Alcotest.test_case "request: empty tune spec = defaults" `Quick
+      test_request_tune_defaults;
+    Alcotest.test_case "fuzz: tuning 200 programs never raises" `Slow
+      test_fuzz_tune_no_raise;
+  ]
